@@ -1,0 +1,33 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Each benchmark reproduces one of the paper's tables/figures via the
+drivers in :mod:`repro.experiments`, asserts the qualitative shape the
+paper reports, and writes the printable report to ``results/``.
+
+Simulated-slot budgets scale with the ``REPRO_SCALE`` environment
+variable (e.g. ``REPRO_SCALE=10 pytest benchmarks/`` for publication-
+grade tail percentiles; the defaults keep the whole suite in tens of
+minutes).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(results_dir):
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _write

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 3 — LTE cell traffic characteristics."""
+
+from repro.experiments import fig03_traffic
+
+
+def test_fig03_traffic(benchmark, write_report):
+    results = benchmark.pedantic(fig03_traffic.run, rounds=1, iterations=1)
+    write_report("fig03_traffic", fig03_traffic.main())
+
+    # §2.2 shape: a single cell idles ~75% of TTIs ...
+    assert 0.70 <= results["single_idle_fraction"] <= 0.80
+    # ... the 3-cell aggregate idles much less ...
+    assert results["aggregate_idle_fraction"] < \
+        results["single_idle_fraction"] - 0.2
+    # ... median transfer stays small (~0.2 KB) ...
+    assert results["aggregate_median_kb"] < 0.5
+    # ... and the tail is many times the median (provision-for-peak waste).
+    assert results["aggregate_p95_over_median"] > 4.0

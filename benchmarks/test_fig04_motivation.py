@@ -1,0 +1,43 @@
+"""Benchmark: Figure 4 — motivation (idle CPU + collocation violations)."""
+
+from repro.experiments import fig04_motivation
+
+
+def test_fig04a_utilization(benchmark, write_report):
+    rows = benchmark.pedantic(fig04_motivation.run_utilization,
+                              rounds=1, iterations=1)
+    report = "\n".join(
+        f"{r['scenario']:20s} cores={r['num_cores']:2d} "
+        f"util={r['utilization'] * 100:5.1f}% "
+        f"(paper {r['paper_utilization'] * 100:.0f}%)"
+        for r in rows
+    )
+    write_report("fig04a_utilization", report)
+    # The paper's point: even at peak traffic the minimum-size pool
+    # leaves a large fraction of its cycles idle.  (Our UL-only cells
+    # lack the TDD idle gaps and run hotter than the paper's ~42%;
+    # the TDD scenarios land at 24-35% vs the paper's 33-38%.)
+    for row in rows:
+        assert row["utilization"] <= 0.65, row
+        assert row["deadline_met"], row
+    assert min(r["utilization"] for r in rows) <= 0.40
+
+
+def test_fig04b_interference(benchmark, write_report):
+    rows = benchmark.pedantic(fig04_motivation.run_interference,
+                              rounds=1, iterations=1)
+    report = "\n".join(
+        f"{r['scenario']:20s} deadline={r['deadline_us']:.0f} "
+        f"isolated={r['none']:.0f} nginx={r['nginx']:.0f} "
+        f"redis={r['redis']:.0f}"
+        for r in rows
+    )
+    write_report("fig04b_interference", report)
+    for row in rows:
+        # Isolated FlexRAN meets the deadline at 99.99%.
+        assert row["none"] <= row["deadline_us"], row
+        # Collocated workloads push the tail up ...
+        assert row["redis"] > row["none"], row
+    # ... and at least one scenario blows past the deadline entirely.
+    assert any(max(r["nginx"], r["redis"]) > r["deadline_us"]
+               for r in rows)

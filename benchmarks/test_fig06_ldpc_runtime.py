@@ -1,0 +1,24 @@
+"""Benchmark: Figure 6 — LDPC decode runtime vs codeblocks and cores."""
+
+from repro.experiments import fig06_ldpc
+
+
+def test_fig06_ldpc_runtime(benchmark, write_report):
+    results = benchmark.pedantic(fig06_ldpc.run, rounds=1, iterations=1)
+    write_report("fig06_ldpc_runtime", fig06_ldpc.main(500))
+
+    runtimes = results["runtimes"]
+    # Fig. 6a anchors: 3 CBs ~100 us and 15 CBs ~450-500 us on one core.
+    assert 60 <= runtimes[(1, 3)].q50 <= 140
+    assert 300 <= runtimes[(1, 15)].q50 <= 550
+    # Runtime is linear in codeblocks ...
+    ratio = runtimes[(1, 15)].q50 / runtimes[(1, 3)].q50
+    assert 3.5 <= ratio <= 6.5
+    # ... and spreading across cores costs up to ~25% extra.
+    for cbs in results["codeblock_counts"]:
+        penalty = runtimes[(6, cbs)].q50 / runtimes[(1, cbs)].q50
+        assert 1.10 <= penalty <= 1.35, (cbs, penalty)
+        assert runtimes[(4, cbs)].q50 <= runtimes[(6, cbs)].q50
+    # Fig. 6b: stalls grow with both codeblocks and core spread.
+    stalls = results["stalls"]
+    assert stalls[(6, 15)] > stalls[(1, 15)] > stalls[(1, 3)]

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 7 — leaf-node stability under interference."""
+
+from repro.experiments import fig07_leaves
+
+
+def test_fig07_leaf_stability(benchmark, write_report):
+    results = benchmark.pedantic(fig07_leaves.run, rounds=1, iterations=1)
+    write_report("fig07_leaf_stability", fig07_leaves.main(400))
+
+    # Fig. 7a: the tree splits the feature space into leaves whose
+    # within-leaf variance is small vs the overall runtime variance.
+    assert results["num_leaves"] >= 4
+    assert results["mean_within_leaf_var_ratio"] < 0.25
+
+    # §4.1: the collocated runtime distribution is statistically
+    # different from the isolated one (KS p << 0.001 in the paper).
+    assert results["ks_p_value"] < 0.05
+
+    # Fig. 7b: even the most distorted leaves keep their runtimes in
+    # the same region (heavier tail, not a different regime) — so the
+    # offline tree structure remains valid online.
+    for leaf in results["per_leaf"][:5]:
+        assert 0.8 <= leaf["col_mean"] / leaf["iso_mean"] <= 1.6, leaf
+        assert leaf["col_p99_over_iso_p99"] >= 0.95, leaf

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 8a — CPU reclaimed by Concordia vs the ideal bound."""
+
+from repro.experiments import fig08_reclaim
+
+
+def test_fig08a_reclaimed_cpu(benchmark, write_report):
+    results = benchmark.pedantic(fig08_reclaim.run_reclaim,
+                                 rounds=1, iterations=1)
+    lines = []
+    for label, series in results["configs"].items():
+        for point in series:
+            lines.append(
+                f"{label:7s} load={point['load'] * 100:5.1f}% "
+                f"reclaimed={point['reclaimed'] * 100:5.1f}% "
+                f"upper bound={point['upper_bound'] * 100:5.1f}% "
+                f"miss={point['miss_fraction']:.2e}"
+            )
+    write_report("fig08a_reclaim", "\n".join(lines))
+
+    for label, series in results["configs"].items():
+        # >70% of CPU reclaimed at low cell load (the paper's headline).
+        assert series[0]["reclaimed"] > 0.70, (label, series[0])
+        # Reclaim shrinks monotonically-ish with load and never exceeds
+        # the every-idle-cycle upper bound.
+        for point in series:
+            assert point["reclaimed"] <= point["upper_bound"] + 0.02
+        assert series[-1]["reclaimed"] < series[0]["reclaimed"] - 0.15
+        # The RAN deadline reliability is maintained while sharing.
+        for point in series:
+            assert point["miss_fraction"] < 5e-3, (label, point)
+    # At max load the 20MHz pool reclaims (almost) nothing; the 100MHz
+    # pool still reclaims a substantial fraction (paper: 0% vs 38%).
+    assert results["configs"]["20MHz"][-1]["reclaimed"] < 0.25
+    assert results["configs"]["100MHz"][-1]["reclaimed"] > 0.30

@@ -1,0 +1,42 @@
+"""Benchmark: Figure 8b-d — collocated workload throughput."""
+
+from repro.experiments import fig08_reclaim
+from repro.workloads.catalog import WORKLOAD_SPECS
+
+
+def test_fig08bcd_workload_throughput(benchmark, write_report):
+    results = benchmark.pedantic(
+        fig08_reclaim.run_workloads, rounds=1, iterations=1,
+        kwargs={"loads": (0.05, 0.5, 1.0)},
+    )
+    lines = []
+    for workload, data in results["workloads"].items():
+        for label, series in data["series"].items():
+            for point in series:
+                total = sum(point["rates"].values())
+                lines.append(
+                    f"{workload:7s} {label:7s} "
+                    f"load={point['load'] * 100:5.1f}% "
+                    f"rate={total:12,.0f} ops/s "
+                    f"reclaimed={point['reclaimed'] * 100:5.1f}%"
+                )
+    write_report("fig08bcd_workloads", "\n".join(lines))
+
+    for workload, data in results["workloads"].items():
+        for label, series in data["series"].items():
+            rates = [sum(p["rates"].values()) for p in series]
+            # Throughput shrinks as the vRAN load grows (fewer
+            # reclaimed cores to run on).
+            assert rates[0] > rates[-1], (workload, label, rates)
+            assert all(r >= 0 for r in rates)
+
+    # §6.1 calibration: at low cell load the collocated throughput is a
+    # substantial fraction (but < 100%) of the dedicated-cores ideal.
+    redis = results["workloads"]["redis"]["series"]["100MHz"][0]
+    cores = 12
+    # The GET and SET containers split the cores in the no-vRAN ideal
+    # too, so the reference is the mean of their per-core rates.
+    ideal = (WORKLOAD_SPECS["redis-get"].ops_per_core_second
+             + WORKLOAD_SPECS["redis-set"].ops_per_core_second) / 2 * cores
+    achieved = sum(redis["rates"].values())
+    assert 0.4 * ideal < achieved < ideal

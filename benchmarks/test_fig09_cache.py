@@ -1,0 +1,25 @@
+"""Benchmark: Figure 9 — cache interference, Concordia vs FlexRAN."""
+
+from repro.experiments import fig09_cache
+
+
+def test_fig09_cache_efficiency(benchmark, write_report):
+    results = benchmark.pedantic(fig09_cache.run, rounds=1, iterations=1)
+    lines = [
+        f"{policy:10s} stall+={entry['stall_increase'] * 100:5.1f}% "
+        f"l1+={entry['l1_miss_increase'] * 100:5.1f}% "
+        f"llc+={entry['llc_load_increase'] * 100:5.1f}% "
+        f"events={entry['scheduling_events']}"
+        for policy, entry in results.items()
+    ]
+    write_report("fig09_cache", "\n".join(lines))
+
+    concordia = results["concordia"]
+    flexran = results["flexran"]
+    # Paper: FlexRAN ~25% extra stall cycles/instruction, Concordia <2%.
+    assert concordia["stall_increase"] < 0.04
+    assert 0.10 <= flexran["stall_increase"] <= 0.40
+    assert flexran["stall_increase"] > 5 * concordia["stall_increase"]
+    # Same ordering holds for the L1/LLC proxies.
+    assert flexran["l1_miss_increase"] > concordia["l1_miss_increase"]
+    assert flexran["llc_load_increase"] > concordia["llc_load_increase"]

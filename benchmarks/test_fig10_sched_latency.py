@@ -1,0 +1,29 @@
+"""Benchmark: Figure 10 — OS scheduling-latency histograms."""
+
+from repro.experiments import fig10_sched_latency
+
+
+def test_fig10_scheduling_latency(benchmark, write_report):
+    results = benchmark.pedantic(fig10_sched_latency.run,
+                                 rounds=1, iterations=1)
+    write_report("fig10_sched_latency", fig10_sched_latency.main(500))
+
+    # FlexRAN produces far more scheduling events than Concordia
+    # (paper: ~230% more, i.e. ~3.3x).
+    assert results["event_ratio"] > 2.0
+
+    for policy in ("flexran", "concordia"):
+        isolated = results[(policy, "none")]["histogram"]
+        collocated = results[(policy, "redis")]["histogram"]
+        # The bulk of wakeups is in the few-microsecond buckets.
+        fast_iso = isolated["0-1"] + isolated["1-3"] + isolated["3-7"]
+        assert fast_iso > 0.6 * sum(isolated.values())
+        # Collocation produces a heavier tail (>=63us buckets).
+        def tail(hist):
+            total = max(1, sum(hist.values()))
+            return (hist["63-127"] + hist["127-255"] + hist[">255"]) / total
+        assert tail(collocated) >= tail(isolated)
+    # Isolated wakeups never hit the kernel-stall range (>255us).
+    assert results[("flexran", "none")]["histogram"][">255"] == 0
+    # Collocated FlexRAN does (§2.3's non-preemptible sections).
+    assert results[("flexran", "redis")]["histogram"][">255"] >= 1

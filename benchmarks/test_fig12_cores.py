@@ -1,0 +1,29 @@
+"""Benchmark: Figure 12 — effect of pool size on Concordia's tail."""
+
+from repro.experiments import fig12_cores
+
+
+def test_fig12_pool_size(benchmark, write_report):
+    results = benchmark.pedantic(fig12_cores.run, rounds=1, iterations=1)
+    lines = [
+        f"{label:7s} {cores} cores: p99.99={entry['p9999_us']:7.0f} "
+        f"p99.999={entry['p99999_us']:7.0f} "
+        f"deadline={entry['deadline_us']:.0f} "
+        f"miss={entry['miss_fraction']:.2e}"
+        for (label, cores), entry in sorted(results.items())
+    ]
+    write_report("fig12_cores", "\n".join(lines))
+
+    for label in ("20MHz", "100MHz"):
+        eight = results[(label, 8)]
+        nine = results[(label, 9)]
+        # Adding a core never costs reliability (the paper's point:
+        # spare capacity absorbs slow wakeups) ...
+        assert nine["miss_fraction"] <= eight["miss_fraction"] + 1e-5
+        # ... and with 9 cores both configs are highly reliable with a
+        # comfortable tail margin.  (Our simulated 8-core pool already
+        # meets 99.999% where the paper's real 100MHz testbed needed 9;
+        # see EXPERIMENTS.md.)
+        assert nine["miss_fraction"] < 1e-3
+        assert nine["p99999_us"] <= nine["deadline_us"]
+        assert nine["p99999_us"] <= 2.0 * eight["p99999_us"]

@@ -1,0 +1,74 @@
+"""Benchmark: Figure 14 / appendix A.2 — prediction-model accuracy."""
+
+import numpy as np
+
+from repro.experiments import fig14_prediction
+from repro.ran.tasks import TaskType
+
+
+def _run():
+    return fig14_prediction.run(
+        scenarios=((1, "none"), (2, "none"), (1, "redis"), (2, "tpcc")),
+    )
+
+
+def test_fig14_model_accuracy(benchmark, write_report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        f"{model:18s} {cells}cell {workload:6s} {task.value:18s} "
+        f"miss={entry['miss_pct']:7.3f}% err={entry['avg_error_us']:6.0f}us "
+        f"n={entry['samples']}"
+        for (cells, workload, model, task), entry in sorted(
+            results.items(), key=lambda kv: (kv[0][3].value, kv[0][2]))
+    ]
+    write_report("fig14_prediction", "\n".join(lines))
+
+    def aggregate(model, metric, task=None):
+        values = [entry[metric]
+                  for (c, w, m, t), entry in results.items()
+                  if m == model and (task is None or t is task)]
+        return float(np.mean(values))
+
+    # Every model is a usable WCET predictor (sub-2% per-task misses
+    # at the paper's 0.99999 interval)...
+    for model in ("linear_regression", "gradient_boosting",
+                  "quantile_tree"):
+        assert aggregate(model, "miss_pct") < 2.0, model
+    # ... and the quantile tree's miss rate stays in the same regime as
+    # the regression baselines (see EXPERIMENTS.md: with online z-sigma
+    # adaptation our LR baseline is stronger than the paper's, so the
+    # log-scale Fig. 14a gap does not reproduce; the max-of-N leaf rule
+    # is bounded by its buffer size).
+    assert aggregate("quantile_tree", "miss_pct") <=         min(aggregate("linear_regression", "miss_pct"),
+            aggregate("gradient_boosting", "miss_pct")) + 1.0
+
+    # Fig. 17c's exception: gradient boosting is the weak model on
+    # channel estimation (allow a near-tie at bench resolution).
+    assert aggregate("gradient_boosting", "miss_pct",
+                     TaskType.CHANNEL_ESTIMATION) > \
+        aggregate("quantile_tree", "miss_pct",
+                  TaskType.CHANNEL_ESTIMATION) - 0.2
+
+    # Fig. 14b: the tree has the smallest average WCET error, which is
+    # what frees cores (paper: ~43us for decoding).
+    qdt_err = aggregate("quantile_tree", "avg_error_us")
+    assert qdt_err <= aggregate("gradient_boosting", "avg_error_us")
+    assert qdt_err <= aggregate("linear_regression", "avg_error_us")
+    decode_err = aggregate("quantile_tree", "avg_error_us",
+                           TaskType.LDPC_DECODE)
+    assert decode_err < 150.0
+
+
+def test_fig14_full_dag(benchmark, write_report):
+    results = benchmark.pedantic(fig14_prediction.run_full_dag,
+                                 rounds=1, iterations=1)
+    lines = [
+        f"{cells}cell {workload:6s} slot-miss={entry['miss_pct']:.4f}% "
+        f"p99.999={entry['p99999_us']:.0f}us"
+        for (cells, workload), entry in results.items()
+    ]
+    write_report("fig14_full_dag", "\n".join(lines))
+    # The Concordia scheduler's 20us compensation pushes the full-DAG
+    # miss rate far below the per-task misprediction rates.
+    for entry in results.values():
+        assert entry["miss_pct"] < 0.05

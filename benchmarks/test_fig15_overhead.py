@@ -1,0 +1,51 @@
+"""Benchmark: Figure 15 — scheduler/predictor overhead and the deadline
+parameter tradeoff."""
+
+import numpy as np
+
+from repro.experiments import fig15_overhead
+
+
+def test_fig15a_overhead_scaling(benchmark, write_report):
+    results = benchmark.pedantic(fig15_overhead.run_overhead,
+                                 rounds=1, iterations=1)
+    lines = [
+        f"{cells} cells: scheduler={entry['scheduler_us']:6.1f}us/decision "
+        f"predictor={entry['predictor_us']:6.1f}us/TTI"
+        for cells, entry in sorted(results.items())
+    ]
+    write_report("fig15a_overhead", "\n".join(lines))
+
+    cells = sorted(results)
+    predictor = [results[c]["predictor_us"] for c in cells]
+    scheduler = [results[c]["scheduler_us"] for c in cells]
+    # The paper's claim is the *shape*: overhead grows roughly linearly
+    # with the number of cells (more tasks to predict/schedule).
+    assert predictor[-1] > predictor[0]
+    correlation = np.corrcoef(cells, predictor)[0, 1]
+    assert correlation > 0.9
+    # The per-decision scheduler cost stays small and grows far slower
+    # than the per-TTI prediction cost.
+    assert max(scheduler) < max(predictor)
+
+
+def test_fig15b_deadline_tradeoff(benchmark, write_report):
+    results = benchmark.pedantic(fig15_overhead.run_deadline_sweep,
+                                 rounds=1, iterations=1)
+    lines = [
+        f"deadline={deadline:6.0f}us p99.999={entry['p99999_us']:7.0f} "
+        f"reclaimed={entry['reclaimed'] * 100:5.1f}% "
+        f"miss={entry['miss_fraction']:.2e}"
+        for deadline, entry in sorted(results.items())
+    ]
+    write_report("fig15b_deadline_sweep", "\n".join(lines))
+
+    deadlines = sorted(results)
+    tails = [results[d]["p99999_us"] for d in deadlines]
+    reclaims = [results[d]["reclaimed"] for d in deadlines]
+    # Fig. 15b: shorter deadline -> lower tail latency, fewer reclaimed
+    # cores.  Check the trend via the endpoints (noise-tolerant).
+    assert tails[0] < tails[-1]
+    assert reclaims[0] < reclaims[-1] + 0.02
+    for deadline in deadlines:
+        assert results[deadline]["miss_fraction"] < 1e-3

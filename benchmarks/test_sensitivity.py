@@ -1,0 +1,32 @@
+"""Benchmark: sensitivity of the headline conclusions to model constants.
+
+Not a paper figure — a robustness check on the reproduction itself: the
+qualitative results (Concordia reliable, FlexRAN tail-broken under
+collocation) must survive halving/doubling of the calibrated model
+constants, otherwise they would be artifacts of tuning.
+"""
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_of_conclusions(benchmark, write_report):
+    results = benchmark.pedantic(sensitivity.run, rounds=1, iterations=1)
+    lines = [
+        f"{knob:18s} x{factor:<4} concordia_miss={e['concordia_miss']:.1e} "
+        f"flexran_miss={e['flexran_miss']:.1e} "
+        f"tail_gap={e['tail_gap']:.1f}x reclaim={e['reclaimed'] * 100:.0f}%"
+        for (knob, factor), e in sorted(results.items())
+    ]
+    write_report("sensitivity", "\n".join(lines))
+
+    for (knob, factor), entry in results.items():
+        # Concordia stays reliable under every perturbation ...
+        assert entry["concordia_miss"] <= 1e-4, (knob, factor, entry)
+        # ... and never loses the tail comparison to FlexRAN.
+        assert entry["tail_gap"] >= 1.0, (knob, factor, entry)
+        # Reclaim stays in a sane band (the scheduler keeps sharing).
+        assert 0.2 <= entry["reclaimed"] <= 0.9, (knob, factor, entry)
+    # The kernel-stall knob is what drives FlexRAN's failures: more
+    # stalls => FlexRAN misses at least as much.
+    assert results[("kernel_stall_prob", 2.0)]["flexran_miss"] >= \
+        results[("kernel_stall_prob", 0.5)]["flexran_miss"]

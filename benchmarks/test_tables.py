@@ -1,0 +1,52 @@
+"""Benchmark: Tables 1/2/5 — configurations and task-cost breakdown."""
+
+from repro.experiments import tables
+from repro.ran.config import pool_100mhz_2cells, pool_20mhz_7cells
+
+
+def test_tables12_configurations(write_report):
+    pool100 = pool_100mhz_2cells()
+    pool20 = pool_20mhz_7cells()
+    report = (
+        f"100MHz: {len(pool100.cells)} cells, {pool100.num_cores} cores, "
+        f"deadline {pool100.deadline_us:.0f}us, "
+        f"peak {pool100.cells[0].peak_dl_mbps:.0f}/"
+        f"{pool100.cells[0].peak_ul_mbps:.0f} Mbps DL/UL\n"
+        f"20MHz:  {len(pool20.cells)} cells, {pool20.num_cores} cores, "
+        f"deadline {pool20.deadline_us:.0f}us, "
+        f"peak {pool20.cells[0].peak_dl_mbps:.0f}/"
+        f"{pool20.cells[0].peak_ul_mbps:.0f} Mbps DL/UL"
+    )
+    write_report("tables12_configs", report)
+    # Table 1/2 constants.
+    assert (len(pool100.cells), pool100.num_cores,
+            pool100.deadline_us) == (2, 12, 1500.0)
+    assert (len(pool20.cells), pool20.num_cores,
+            pool20.deadline_us) == (7, 8, 2000.0)
+
+
+def test_table5_task_breakdown(benchmark, write_report):
+    results = benchmark.pedantic(tables.run_table5, rounds=1, iterations=1)
+    lines = ["uplink:"]
+    lines += [f"  {name:20s} {share * 100:5.1f}%"
+              for name, share in sorted(results["uplink_shares"].items(),
+                                        key=lambda kv: -kv[1])]
+    lines.append("downlink:")
+    lines += [f"  {name:20s} {share * 100:5.1f}%"
+              for name, share in sorted(results["downlink_shares"].items(),
+                                        key=lambda kv: -kv[1])]
+    write_report("table5_breakdown", "\n".join(lines))
+
+    ul = results["uplink_shares"]
+    dl = results["downlink_shares"]
+    # Table 5: decode >60% of uplink; chanest >8%; equalization >5%;
+    # demod >6%; encode >40% of downlink; precoding >15%; mod >10%.
+    assert ul["ldpc_decode"] > 0.55
+    assert ul["channel_estimation"] > 0.05
+    assert ul["equalization"] > 0.02
+    assert ul["demodulation"] > 0.04
+    assert dl["ldpc_encode"] > 0.35
+    assert dl["precoding"] > 0.10
+    assert dl["modulation"] > 0.07
+    # Decode dominates everything (the paper's >50% of total claim).
+    assert ul["ldpc_decode"] == max(ul.values())

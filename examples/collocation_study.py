@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Collocation study: every scheduler against every workload.
+
+Sweeps the scheduling policies (Concordia, vanilla FlexRAN, a
+Shenango-variant, a utilization-based scheduler, and full isolation)
+against the paper's collocation scenarios (Redis, Nginx, TPCC, MLPerf,
+Mix) on the 2 x 100 MHz deployment, and prints a reliability/efficiency
+scorecard — a compact version of the paper's §6.2/§6.3 evaluation.
+
+Run:  python examples/collocation_study.py [num_slots]
+"""
+
+import sys
+
+from repro import pool_100mhz_2cells, train_predictor
+from repro.experiments.common import format_table, make_policy, run_simulation
+
+NUM_SLOTS = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+POLICIES = ("dedicated", "concordia", "flexran", "shenango", "utilization")
+WORKLOADS = ("none", "redis", "nginx", "tpcc", "mix")
+
+
+def main():
+    config = pool_100mhz_2cells(num_cores=8)
+    print(f"2 x 100 MHz TDD cells, 8 cores, deadline "
+          f"{config.deadline_us:.0f} us, {NUM_SLOTS} slots per run\n")
+    # Warm the predictor cache once (Concordia reuses it per run).
+    train_cache = {}
+    rows = []
+    for policy in POLICIES:
+        for workload in WORKLOADS:
+            result = run_simulation(
+                config, policy, workload=workload, load_fraction=0.5,
+                num_slots=NUM_SLOTS, seed=11,
+            )
+            latency = result.latency
+            best_effort = sum(result.workload_rates_per_s.values())
+            rows.append([
+                policy, workload,
+                f"{latency.p9999_us:7.0f}",
+                "yes" if latency.p9999_us <= latency.deadline_us else "NO",
+                f"{latency.miss_fraction:.1e}",
+                f"{result.reclaimed_fraction * 100:5.1f}%",
+                f"{best_effort:14,.0f}",
+            ])
+    print(format_table(
+        ["policy", "workload", "p99.99 (us)", "meets deadline",
+         "miss frac", "reclaimed", "best-effort ops/s"],
+        rows,
+        title="Scheduler x workload scorecard (deadline "
+              f"{config.deadline_us:.0f} us)"))
+    print(
+        "\nReading guide: 'dedicated' is today's practice (safe, zero "
+        "sharing);\n'flexran' shares greedily but loses the tail under "
+        "any collocation;\nConcordia is the only policy that both "
+        "shares and holds the deadline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Auditing a deadline miss with the execution tracer.
+
+Recreates the debugging workflow used throughout the reproduction (and
+presumably by the paper's authors against FlexRAN): run the vulnerable
+baseline under collocation with a trace recorder attached, find the
+slowest slots, and render their task timelines as Gantt charts — the
+stuck-wakeup stall is directly visible as a long queueing gap before a
+pinned task.
+
+Run:  python examples/trace_debugging.py
+"""
+
+from repro import FlexRanScheduler, Simulation, pool_20mhz_7cells
+from repro.analysis.comparison import compare_tails
+from repro.sim.tracing import TraceRecorder, render_gantt
+
+
+def main():
+    config = pool_20mhz_7cells()
+    print("Running vanilla FlexRAN + Redis with the tracer attached...")
+    simulation = Simulation(config, FlexRanScheduler(), workload="redis",
+                            load_fraction=0.5, seed=23)
+    recorder = TraceRecorder(capacity=500_000).attach(simulation)
+    result = simulation.run(4000)
+    latency = result.latency
+    print(f"  {latency.count} slot DAGs; p99 = {latency.p99_us:.0f} us, "
+          f"max = {latency.max_us:.0f} us "
+          f"(deadline {latency.deadline_us:.0f})")
+
+    print("\nThe three slowest DAGs, as task Gantt charts "
+          "('.' = queued, '#' = executing):\n")
+    for dag_id in recorder.slowest_dags(top=3):
+        traces = recorder.for_dag(dag_id)
+        print(render_gantt(traces, title=f"DAG {dag_id}"))
+        worst_wait = max(traces, key=lambda t: t.wait_us)
+        print(f"  worst queueing: {worst_wait.task_type} waited "
+              f"{worst_wait.wait_us:.0f} us before starting -> a worker "
+              "stuck behind a non-preemptible kernel section (§2.3)\n")
+
+    print("Statistical check: are the long waits really the tail driver?")
+    waits = [t.wait_us for t in recorder.tasks]
+    runtimes = [t.runtime_us for t in recorder.tasks]
+    comparison = compare_tails(runtimes, waits, percentile=99.99)
+    print(f"  p99.99 runtime = {comparison.a_value:.0f} us vs "
+          f"p99.99 queueing wait = {comparison.b_value:.0f} us")
+    if comparison.b_value > comparison.a_value:
+        print("  -> the extreme waits dominate the extreme runtimes: "
+              "the tail is a\n     scheduling-latency problem, not a "
+              "compute problem — exactly the gap\n     Concordia's "
+              "proactive reservation + 20 us compensation closes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Cell-traffic exploration (paper §2.2 / Fig. 3).
+
+Generates the LTE-calibrated bursty traces, shows why provisioning a
+vRAN pool for peak traffic wastes most of its CPU, and scales the
+traces up to the paper's 5G benchmark volumes.
+
+Run:  python examples/traffic_analysis.py
+"""
+
+import numpy as np
+
+from repro import CellTraffic, cell_100mhz_tdd, cell_20mhz_fdd, lte_cell_traffic
+
+SLOTS = 30_000
+
+
+def ascii_cdf(samples, width=50, points=(10, 25, 50, 75, 90, 95, 99)):
+    """Tiny textual CDF of busy-slot sizes."""
+    busy = samples[samples > 0] / 1024.0
+    lines = []
+    for p in points:
+        value = np.percentile(busy, p)
+        bar = "#" * max(1, int(width * p / 100))
+        lines.append(f"  p{p:<3d} {value:7.2f} KB |{bar}")
+    return "\n".join(lines)
+
+
+def main():
+    print("=== LTE traces (Fig. 3 calibration) ===")
+    cells = [lte_cell_traffic(seed=s).trace(SLOTS) for s in range(3)]
+    aggregate = np.sum(cells, axis=0)
+    single = cells[0]
+    print(f"single cell: idle {(single == 0).mean() * 100:.1f}% of TTIs "
+          f"(paper: 75%)")
+    print(f"3-cell pool: idle {(aggregate == 0).mean() * 100:.1f}% of TTIs")
+    busy = aggregate[aggregate > 0]
+    print(f"aggregate busy slots: median "
+          f"{np.median(busy) / 1024:.2f} KB, p95 "
+          f"{np.percentile(busy, 95) / 1024:.2f} KB "
+          f"({np.percentile(busy, 95) / np.median(busy):.1f}x median)")
+    print("aggregate CDF:")
+    print(ascii_cdf(aggregate))
+    peak = np.percentile(aggregate, 99.9)
+    mean = aggregate.mean()
+    print(f"\nprovision-for-peak waste: peak(p99.9)={peak / 1024:.1f} KB "
+          f"vs mean={mean / 1024:.2f} KB -> "
+          f"{(1 - mean / peak) * 100:.0f}% of capacity idle on average")
+
+    print("\n=== 5G benchmark traces (>10x the LTE volume, §6) ===")
+    for cell, label in ((cell_20mhz_fdd(), "20 MHz FDD"),
+                        (cell_100mhz_tdd(), "100 MHz TDD")):
+        for load in (0.25, 1.0):
+            traffic = CellTraffic.for_cell(cell, load, seed=3)
+            ul = traffic.uplink.trace(SLOTS // 3)
+            dl = traffic.downlink.trace(SLOTS // 3)
+            print(f"{label:12s} load={load * 100:5.1f}%: "
+                  f"UL mean {ul.mean() / 1024:6.1f} KB/slot "
+                  f"(max {ul.max() / 1024:6.1f}), "
+                  f"DL mean {dl.mean() / 1024:6.1f} KB/slot "
+                  f"(max {dl.max() / 1024:6.1f})")
+    print("\nBursts remain ~10x the mean at every scale — the "
+          "multiplexing opportunity Concordia exploits.")
+
+
+if __name__ == "__main__":
+    main()

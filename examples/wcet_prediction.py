@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Deep dive into the Concordia WCET predictor (paper §4).
+
+Walks through the full offline pipeline on the LDPC decoding task:
+
+1. profile the isolated vRAN and collect (features, runtime) samples;
+2. rank features by distance correlation and prune with backwards
+   elimination (Algorithm 1);
+3. grow the quantile decision tree and inspect its leaves;
+4. compare prediction quality against linear regression, gradient
+   boosting and a conventional EVT pWCET bound (Fig. 13/14);
+5. demonstrate the online phase: leaf ring buffers absorbing
+   interference-shifted runtimes without re-growing the tree.
+
+Run:  python examples/wcet_prediction.py
+"""
+
+import numpy as np
+
+from repro import (
+    GradientBoostingWCET,
+    LinearRegressionWCET,
+    PwcetEVT,
+    QuantileTreeWCET,
+    collect_offline_dataset,
+    pool_20mhz_7cells,
+)
+from repro.core.features import (
+    backwards_elimination,
+    rank_by_distance_correlation,
+)
+from repro.ran.tasks import FEATURE_NAMES, TaskType
+
+
+def main():
+    config = pool_20mhz_7cells(num_cores=8)
+    print("1. Profiling the isolated vRAN (synthetic per-TTI parameter "
+          "sweeps)...")
+    dataset = collect_offline_dataset(config, num_slots=800, seed=7)
+    X, y = dataset.arrays(TaskType.LDPC_DECODE)
+    print(f"   {len(y)} LDPC-decode samples; runtimes "
+          f"{y.min():.0f}-{y.max():.0f} us (mean {y.mean():.0f})")
+
+    print("\n2. Feature selection (Algorithm 1):")
+    ranked = rank_by_distance_correlation(X, y, top_n=8)
+    print("   top-8 by distance correlation:",
+          [FEATURE_NAMES[i] for i in ranked])
+    kept = backwards_elimination(X, y, ranked, keep_m=5)
+    print("   after backwards elimination:  ",
+          [FEATURE_NAMES[i] for i in kept])
+
+    print("\n3. Quantile decision tree (variance-minimizing CART):")
+    train, test = slice(None, int(0.8 * len(y))), slice(int(0.8 * len(y)),
+                                                        None)
+    models = {
+        "quantile tree": QuantileTreeWCET(),
+        "linear regression": LinearRegressionWCET(),
+        "gradient boosting": GradientBoostingWCET(),
+        "pWCET (EVT)": PwcetEVT(),
+    }
+    for model in models.values():
+        model.fit(X[train][:, kept], y[train])
+    tree = models["quantile tree"].tree
+    print(f"   {tree.num_leaves} leaves; per-leaf WCET = max of a "
+          f"{tree.config.leaf_buffer_capacity}-entry ring buffer")
+
+    print("\n4. Prediction quality on held-out samples "
+          "(miss = runtime exceeded prediction):")
+    print(f"   {'model':20s} {'miss rate':>10s} {'mean overshoot':>15s}")
+    for name, model in models.items():
+        predictions = np.array([model.predict(x)
+                                for x in X[test][:, kept]])
+        actual = y[test]
+        misses = (actual > predictions).mean()
+        overshoot = np.mean(np.maximum(predictions - actual, 0.0))
+        print(f"   {name:20s} {misses * 100:9.2f}% {overshoot:12.0f} us")
+    print("   (the EVT bound never misses but wastes the most; the "
+          "quantile tree\n    balances coverage against overshoot, which "
+          "is what frees cores)")
+
+    print("\n5. Online phase: shift runtimes +20% (cache interference) "
+          "and observe:")
+    tree_model = models["quantile tree"]
+    probe = X[test][0][kept]
+    before = tree_model.predict(probe)
+    for x, runtime in zip(X[test][:, kept], y[test]):
+        tree_model.observe(x, runtime * 1.2)
+    after = tree_model.predict(probe)
+    print(f"   prediction for a probe input: {before:.0f} us -> "
+          f"{after:.0f} us after online updates")
+    print("   (the tree structure never changed; only leaf buffers did)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim enabling offline `pip install -e .` (legacy editable
+path: the sandbox has no `wheel` package, so PEP 517 editable builds
+are unavailable)."""
+
+from setuptools import setup
+
+setup()

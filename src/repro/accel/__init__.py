@@ -1,0 +1,1 @@
+"""Hardware-accelerator offload extension (paper §7)."""

@@ -1,0 +1,93 @@
+"""Terminal-friendly ASCII plotting helpers.
+
+The repository is offline-first: instead of matplotlib figures, the
+experiment drivers and examples render series as compact ASCII charts
+that survive logs, CI output and result files.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["bar_chart", "line_chart", "histogram_chart"]
+
+_BAR = "#"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("nothing to plot")
+    peak = max(max(values), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        length = int(round(width * value / peak)) if value > 0 else 0
+        lines.append(
+            f"{str(label).ljust(label_width)} |{_BAR * length:<{width}}| "
+            f"{value:,.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    height: int = 10,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Scatter-style line chart on a character grid."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    x_span = xs.max() - xs.min() or 1.0
+    y_span = ys.max() - ys.min() or 1.0
+    grid = [[" "] * width for __ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - xs.min()) / x_span * (width - 1))
+        row = height - 1 - int((y - ys.min()) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = [title] if title else []
+    for index, row in enumerate(grid):
+        tick = ys.max() - index * y_span / (height - 1)
+        lines.append(f"{tick:10.3g} |{''.join(row)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':11s}{xs.min():<10.3g}{'':>{max(0, width - 20)}}"
+                 f"{xs.max():>10.3g}")
+    return "\n".join(lines)
+
+
+def histogram_chart(
+    samples: Sequence[float],
+    bins: int = 12,
+    width: int = 40,
+    title: str = "",
+    log_counts: bool = False,
+) -> str:
+    """Vertical-bucket histogram with per-bin bars."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("nothing to plot")
+    counts, edges = np.histogram(data, bins=bins)
+    display = np.log10(counts + 1) if log_counts else counts
+    peak = max(display.max(), 1e-12)
+    lines = [title] if title else []
+    for count, value, lo, hi in zip(counts, display, edges[:-1], edges[1:]):
+        length = int(round(width * value / peak))
+        lines.append(f"[{lo:10.3g}, {hi:10.3g}) "
+                     f"|{_BAR * length:<{width}}| {count}")
+    return "\n".join(lines)

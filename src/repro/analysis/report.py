@@ -1,0 +1,81 @@
+"""Structured result export: JSON / CSV writers for simulation results.
+
+The experiment drivers print human tables; downstream analysis (plots,
+regressions across commits, comparisons between parameter sweeps) wants
+machine-readable records.  These helpers flatten
+:class:`repro.sim.runner.SimulationResult` objects and sweep
+dictionaries into rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable
+
+__all__ = ["result_to_record", "write_records_csv", "write_records_json",
+           "sweep_to_records"]
+
+
+def result_to_record(result, **extra) -> dict:
+    """Flatten one SimulationResult into a JSON/CSV-friendly dict."""
+    latency = result.latency
+    record = {
+        "policy": result.policy_name,
+        "workload": result.workload_name,
+        "load_fraction": result.load_fraction,
+        "num_slots": result.num_slots,
+        "duration_us": result.duration_us,
+        "dag_count": latency.count,
+        "latency_mean_us": latency.mean_us,
+        "latency_p50_us": latency.p50_us,
+        "latency_p99_us": latency.p99_us,
+        "latency_p9999_us": latency.p9999_us,
+        "latency_p99999_us": latency.p99999_us,
+        "latency_max_us": latency.max_us,
+        "deadline_us": latency.deadline_us,
+        "miss_fraction": latency.miss_fraction,
+        "meets_four_nines": latency.meets_four_nines,
+        "meets_five_nines": latency.meets_five_nines,
+        "reclaimed_fraction": result.reclaimed_fraction,
+        "idle_upper_bound": result.idle_upper_bound,
+        "vran_utilization": result.vran_utilization,
+        "scheduling_events": result.scheduling_events,
+        "preemptions_per_core_ms": result.preemptions_per_core_ms,
+        "mean_stall_increase": result.mean_stall_increase,
+    }
+    for name, rate in result.workload_rates_per_s.items():
+        record[f"rate_{name}_per_s"] = rate
+    record.update(extra)
+    return record
+
+
+def sweep_to_records(results: Iterable, labels: Iterable[dict]) -> list:
+    """Zip SimulationResults with per-run label dicts into records."""
+    records = []
+    for result, label in zip(results, labels):
+        records.append(result_to_record(result, **label))
+    return records
+
+
+def write_records_json(records: list, path) -> None:
+    """Dump records as a JSON array."""
+    with open(path, "w") as handle:
+        json.dump(list(records), handle, indent=1, default=str)
+
+
+def write_records_csv(records: list, path) -> None:
+    """Dump records as CSV; the header is the union of all keys."""
+    records = list(records)
+    if not records:
+        raise ValueError("no records to write")
+    fieldnames = []
+    for record in records:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)

@@ -1,0 +1,1 @@
+"""Baseline schedulers compared against Concordia."""

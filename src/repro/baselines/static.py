@@ -1,0 +1,42 @@
+"""Static core partitioning — the operator's manual middle ground.
+
+Between full isolation (all cores dedicated, zero sharing — today's
+best practice per §2.3) and dynamic scheduling sits the obvious manual
+option: permanently dedicate ``k`` of the pool's cores to the vRAN and
+give the rest to best-effort workloads.  No scheduler reacts to
+anything at runtime.
+
+This baseline exposes the tradeoff Concordia automates away: a small
+``k`` misses deadlines during bursts, a large ``k`` wastes the idle
+cycles the paper measures.  The ablation benchmarks sweep ``k`` to draw
+that curve.
+"""
+
+from __future__ import annotations
+
+from ..sim.policy import SchedulerPolicy
+
+__all__ = ["StaticPartitionScheduler"]
+
+
+class StaticPartitionScheduler(SchedulerPolicy):
+    """Reserve a fixed number of cores forever."""
+
+    name = "static"
+
+    def __init__(self, reserved_cores: int) -> None:
+        super().__init__()
+        if reserved_cores < 1:
+            raise ValueError("a static partition needs at least one core")
+        self.reserved_cores = reserved_cores
+
+    def attach(self, pool) -> None:
+        super().attach(pool)
+        if self.reserved_cores > pool.num_cores:
+            raise ValueError(
+                f"partition of {self.reserved_cores} cores exceeds the "
+                f"pool's {pool.num_cores}")
+        pool.request_cores(self.reserved_cores)
+
+    # No event hooks: the partition never moves.  (The pool will never
+    # yield the reserved cores because the target never changes.)

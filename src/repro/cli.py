@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``     — one simulation (policy x workload x load), JSON/text out;
+* ``train``   — run the offline phase and report the fitted models;
+* ``figure``  — regenerate one of the paper's tables/figures;
+* ``list``    — enumerate available policies, workloads and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from .experiments import (
+    dag_structure,
+    fig03_traffic,
+    fig04_motivation,
+    fig06_ldpc,
+    fig07_leaves,
+    fig08_reclaim,
+    fig09_cache,
+    fig10_sched_latency,
+    fig11_tail_latency,
+    fig12_cores,
+    fig13_pwcet,
+    fig14_prediction,
+    fig15_overhead,
+    longrun,
+    sensitivity,
+    tables,
+)
+from .experiments.common import make_policy
+from .ran.config import pool_100mhz_2cells, pool_20mhz_7cells
+from .workloads.catalog import SCENARIOS
+
+__all__ = ["main", "build_parser"]
+
+POLICIES = ("concordia", "concordia-noml", "flexran", "dedicated",
+            "shenango", "utilization", "static")
+
+CONFIGS = {
+    "20mhz": pool_20mhz_7cells,
+    "100mhz": pool_100mhz_2cells,
+}
+
+FIGURES = {
+    "fig1": dag_structure.main,
+    "fig3": fig03_traffic.main,
+    "fig4": fig04_motivation.main,
+    "fig6": fig06_ldpc.main,
+    "fig7": fig07_leaves.main,
+    "fig8": fig08_reclaim.main,
+    "fig9": fig09_cache.main,
+    "fig10": fig10_sched_latency.main,
+    "fig11": fig11_tail_latency.main,
+    "fig12": fig12_cores.main,
+    "fig13": fig13_pwcet.main,
+    "fig14": fig14_prediction.main,
+    "fig15": fig15_overhead.main,
+    "tables": tables.main,
+    "longrun": longrun.main,
+    "sensitivity": sensitivity.main,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Concordia (SIGCOMM 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="run one simulation")
+    run_cmd.add_argument("--config", choices=sorted(CONFIGS),
+                         default="20mhz")
+    run_cmd.add_argument("--policy", choices=POLICIES, default="concordia")
+    run_cmd.add_argument("--workload", choices=SCENARIOS, default="none")
+    run_cmd.add_argument("--load", type=float, default=0.5,
+                         help="cell load fraction in [0, 1]")
+    run_cmd.add_argument("--slots", type=int, default=4000)
+    run_cmd.add_argument("--seed", type=int, default=7)
+    run_cmd.add_argument("--cores", type=int, default=None,
+                         help="override the pool's core count")
+    run_cmd.add_argument("--mac", action="store_true",
+                         help="use the MAC-layer allocation pipeline")
+    run_cmd.add_argument("--harq", action="store_true",
+                         help="model HARQ retransmissions on the uplink")
+    run_cmd.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+
+    train_cmd = sub.add_parser("train", help="run the offline phase")
+    train_cmd.add_argument("--config", choices=sorted(CONFIGS),
+                           default="20mhz")
+    train_cmd.add_argument("--slots", type=int, default=800)
+    train_cmd.add_argument("--seed", type=int, default=42)
+
+    figure_cmd = sub.add_parser("figure",
+                                help="regenerate a paper table/figure")
+    figure_cmd.add_argument("name", choices=sorted(FIGURES))
+
+    sub.add_parser("list", help="list policies, workloads and figures")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    factory = CONFIGS[args.config]
+    config = factory() if args.cores is None else \
+        factory(num_cores=args.cores)
+    from .sim.runner import Simulation
+
+    policy = make_policy(args.policy, config)
+    simulation = Simulation(
+        config, policy, workload=args.workload,
+        load_fraction=args.load, seed=args.seed,
+        allocation_mode="mac" if args.mac else "iid",
+        harq=args.harq,
+    )
+    result = simulation.run(args.slots)
+    latency = result.latency
+    payload = {
+        "config": args.config,
+        "policy": args.policy,
+        "workload": args.workload,
+        "load": args.load,
+        "slots": args.slots,
+        "latency_us": {
+            "mean": latency.mean_us,
+            "p99": latency.p99_us,
+            "p99.99": latency.p9999_us,
+            "p99.999": latency.p99999_us,
+            "max": latency.max_us,
+            "deadline": latency.deadline_us,
+        },
+        "miss_fraction": latency.miss_fraction,
+        "reclaimed_fraction": result.reclaimed_fraction,
+        "idle_upper_bound": result.idle_upper_bound,
+        "scheduling_events": result.scheduling_events,
+        "workload_rates_per_s": result.workload_rates_per_s,
+        "harq": result.harq,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{args.policy} + {args.workload} on {args.config} "
+              f"@ {args.load * 100:.0f}% load ({args.slots} slots)")
+        print(f"  latency mean/p99.99/p99.999: {latency.mean_us:.0f} / "
+              f"{latency.p9999_us:.0f} / {latency.p99999_us:.0f} us "
+              f"(deadline {latency.deadline_us:.0f})")
+        print(f"  deadline misses: {latency.miss_fraction:.2e}")
+        print(f"  reclaimed CPU:   {result.reclaimed_fraction * 100:.1f}% "
+              f"(upper bound {result.idle_upper_bound * 100:.1f}%)")
+        for name, rate in result.workload_rates_per_s.items():
+            print(f"  {name}: {rate:,.0f} ops/s")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .core.training import train_predictor
+
+    config = CONFIGS[args.config]()
+    predictor = train_predictor(config, num_slots=args.slots,
+                                seed=args.seed)
+    print(f"trained {len(predictor.models)} task models "
+          f"({args.slots} profiling slots)")
+    for task_type, model in sorted(predictor.models.items(),
+                                   key=lambda kv: kv[0].value):
+        selected = predictor.selected_features[task_type]
+        leaves = getattr(getattr(model, "tree", None), "num_leaves", "-")
+        print(f"  {task_type.value:20s} features={len(selected)} "
+              f"leaves={leaves}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    print(FIGURES[args.name]())
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print("policies: ", ", ".join(POLICIES))
+    print("workloads:", ", ".join(SCENARIOS))
+    print("configs:  ", ", ".join(sorted(CONFIGS)))
+    print("figures:  ", ", ".join(sorted(FIGURES)))
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "train": _cmd_train,
+        "figure": _cmd_figure,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

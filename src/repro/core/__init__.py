@@ -1,0 +1,1 @@
+"""Concordia's contribution: WCET prediction and deadline scheduling."""

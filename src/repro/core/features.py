@@ -1,0 +1,145 @@
+"""Feature selection for WCET models (paper Algorithm 1).
+
+The offline phase selects, per signal-processing task, the subset of
+vRAN-state features with the most impact on the task runtime:
+
+1. rank features by **distance correlation** with the runtime
+   (Székely-Rizzo; implemented from scratch — the paper used R's
+   ``Rfast::dcor``) and keep the top ``N``;
+2. prune to ``M`` features with **backwards elimination** on a held-out
+   split of an OLS model;
+3. union the result with hand-picked, domain-expert features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "distance_correlation",
+    "rank_by_distance_correlation",
+    "backwards_elimination",
+    "select_features",
+]
+
+
+def _centered_distance_matrix(v: np.ndarray) -> np.ndarray:
+    """Double-centered pairwise-distance matrix of a 1-D sample."""
+    d = np.abs(v[:, None] - v[None, :])
+    row_mean = d.mean(axis=1, keepdims=True)
+    col_mean = d.mean(axis=0, keepdims=True)
+    return d - row_mean - col_mean + d.mean()
+
+
+def distance_correlation(
+    x: np.ndarray,
+    y: np.ndarray,
+    max_samples: int = 1500,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Distance correlation between two 1-D samples, in [0, 1].
+
+    The O(n²) statistic is computed on a random subsample when the
+    input exceeds ``max_samples`` (500 K offline samples would need a
+    2.5×10¹¹-entry matrix otherwise).
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    if len(x) < 2:
+        raise ValueError("need at least two samples")
+    if len(x) > max_samples:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        idx = rng.choice(len(x), size=max_samples, replace=False)
+        x, y = x[idx], y[idx]
+    a = _centered_distance_matrix(x)
+    b = _centered_distance_matrix(y)
+    dcov2 = float((a * b).mean())
+    dvar_x = float((a * a).mean())
+    dvar_y = float((b * b).mean())
+    if dvar_x <= 0 or dvar_y <= 0:
+        return 0.0
+    dcor2 = dcov2 / np.sqrt(dvar_x * dvar_y)
+    return float(np.sqrt(max(0.0, dcor2)))
+
+
+def rank_by_distance_correlation(
+    X: np.ndarray,
+    y: np.ndarray,
+    top_n: int,
+    max_samples: int = 1500,
+    rng: Optional[np.random.Generator] = None,
+) -> list[int]:
+    """Indices of the ``top_n`` features most dCor-correlated with y."""
+    X = np.asarray(X, dtype=np.float64)
+    scores = [
+        distance_correlation(X[:, j], y, max_samples=max_samples, rng=rng)
+        for j in range(X.shape[1])
+    ]
+    order = np.argsort(scores)[::-1]
+    return [int(j) for j in order[:top_n]]
+
+
+def _validation_mse(
+    X: np.ndarray, y: np.ndarray, columns: Sequence[int],
+    split: float = 0.75,
+) -> float:
+    """Held-out MSE of an OLS model restricted to ``columns``."""
+    n = len(y)
+    cut = max(1, int(n * split))
+    train_x = np.column_stack([X[:cut, list(columns)],
+                               np.ones(cut)])
+    test_x = np.column_stack([X[cut:, list(columns)],
+                              np.ones(n - cut)])
+    coeffs, *_ = np.linalg.lstsq(train_x, y[:cut], rcond=None)
+    pred = test_x @ coeffs
+    return float(np.mean((y[cut:] - pred) ** 2))
+
+
+def backwards_elimination(
+    X: np.ndarray,
+    y: np.ndarray,
+    candidates: Sequence[int],
+    keep_m: int,
+) -> list[int]:
+    """Greedy backwards elimination down to ``keep_m`` features.
+
+    Repeatedly drops the feature whose removal hurts held-out OLS error
+    the least.  Deterministic given its inputs.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    current = list(candidates)
+    if keep_m < 1:
+        raise ValueError("keep_m must be >= 1")
+    while len(current) > keep_m:
+        best_error = None
+        best_drop = None
+        for drop in current:
+            trial = [c for c in current if c != drop]
+            error = _validation_mse(X, y, trial)
+            if best_error is None or error < best_error:
+                best_error = error
+                best_drop = drop
+        current.remove(best_drop)
+    return current
+
+
+def select_features(
+    X: np.ndarray,
+    y: np.ndarray,
+    handpicked: Sequence[int] = (),
+    top_n: int = 8,
+    keep_m: int = 5,
+    max_samples: int = 1500,
+    rng: Optional[np.random.Generator] = None,
+) -> list[int]:
+    """Algorithm 1's feature pipeline: dCor top-N -> back-elim M -> ∪ hand."""
+    ranked = rank_by_distance_correlation(X, y, top_n,
+                                          max_samples=max_samples, rng=rng)
+    pruned = backwards_elimination(X, y, ranked, min(keep_m, len(ranked)))
+    selected = sorted(set(pruned) | set(handpicked))
+    return selected

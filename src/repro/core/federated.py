@@ -1,0 +1,70 @@
+"""Mixed-criticality federated scheduling for parallel DAG tasks.
+
+Concordia adopts the core-allocation rule of Li et al., "Mixed-
+criticality federated scheduling for parallel real-time tasks"
+(Real-Time Systems, 2017), which the paper references as its scheduling
+foundation (§3): given a DAG with total remaining work ``C``, remaining
+critical-path length ``L`` and time-to-deadline ``S`` (slack), the
+minimum number of dedicated cores that guarantees completion by the
+deadline under any greedy (work-conserving) scheduler is::
+
+    n = ceil((C - L) / (S - L))        when S > L
+
+When ``S <= L`` even infinitely many cores cannot help a greedy
+scheduler below the critical path, so the DAG enters the *critical
+stage* and the scheduler escalates to every available core.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CoreDemand", "federated_core_demand", "aggregate_demand"]
+
+
+@dataclass(frozen=True)
+class CoreDemand:
+    """Core requirement of one DAG at one instant."""
+
+    cores: int
+    critical: bool  # True when the DAG entered the critical stage
+
+    def __add__(self, other: "CoreDemand") -> "CoreDemand":
+        return CoreDemand(self.cores + other.cores,
+                          self.critical or other.critical)
+
+
+def federated_core_demand(
+    total_work_us: float,
+    critical_path_us: float,
+    slack_us: float,
+    critical_margin_us: float = 20.0,
+) -> CoreDemand:
+    """Cores needed to finish a DAG within its remaining slack.
+
+    ``critical_margin_us`` widens the critical stage: with the Concordia
+    scheduler re-evaluating only every 20 µs, a DAG whose slack is
+    within one tick of its critical path is already at risk.
+    """
+    if total_work_us < 0 or critical_path_us < 0:
+        raise ValueError("work and critical path must be non-negative")
+    if critical_path_us > total_work_us + 1e-9:
+        raise ValueError("critical path cannot exceed total work")
+    if total_work_us == 0:
+        return CoreDemand(0, False)
+    if slack_us <= critical_path_us + critical_margin_us:
+        return CoreDemand(0, True)  # critical: caller allocates all cores
+    parallel_work = total_work_us - critical_path_us
+    if parallel_work <= 0:
+        return CoreDemand(1, False)
+    cores = math.ceil(parallel_work / (slack_us - critical_path_us))
+    return CoreDemand(max(1, cores), False)
+
+
+def aggregate_demand(demands) -> CoreDemand:
+    """Total demand over concurrently active DAGs."""
+    total = CoreDemand(0, False)
+    for demand in demands:
+        total = total + demand
+    return total

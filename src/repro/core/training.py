@@ -1,0 +1,68 @@
+"""Offline profiling and predictor training (paper §4.2 / §5).
+
+The paper collects 500 K training samples by running synthetic vRAN
+workloads in isolation, with transmission parameters varied every TTI.
+``collect_offline_dataset`` does the simulated equivalent: it runs the
+pool under the fully isolated :class:`DedicatedScheduler` with
+uniform-coverage profiling traffic and records every completed task's
+feature vector and runtime.  ``train_predictor`` wraps that into the
+full offline pipeline (Algorithm 1 feature selection + quantile-tree
+fits per task type).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..baselines.flexran import DedicatedScheduler
+from ..ran.config import PoolConfig
+from ..sim.runner import Simulation
+from .models import WcetModel
+from .predictor import ConcordiaPredictor, OfflineDataset
+from .quantile_tree import TreeConfig
+
+__all__ = ["collect_offline_dataset", "train_predictor"]
+
+
+def collect_offline_dataset(
+    pool_config: PoolConfig,
+    num_slots: int = 3000,
+    seed: int = 1234,
+) -> OfflineDataset:
+    """Profile the isolated vRAN and collect (features, runtime) samples."""
+    simulation = Simulation(
+        pool_config=pool_config,
+        policy=DedicatedScheduler(),
+        workload="none",
+        load_fraction=1.0,
+        seed=seed,
+        profiling_traffic=True,
+    )
+    dataset = OfflineDataset()
+    simulation.pool.task_observer = lambda task: dataset.add(
+        task.task_type, task.features, task.runtime_us
+    )
+    simulation.run(num_slots)
+    return dataset
+
+
+def train_predictor(
+    pool_config: PoolConfig,
+    num_slots: int = 3000,
+    seed: int = 1234,
+    model_factory: Optional[Callable[[], WcetModel]] = None,
+    tree_config: Optional[TreeConfig] = None,
+    dataset: Optional[OfflineDataset] = None,
+) -> ConcordiaPredictor:
+    """Full offline phase: profile (unless given a dataset) and fit."""
+    if dataset is None:
+        dataset = collect_offline_dataset(pool_config, num_slots, seed)
+    predictor = ConcordiaPredictor(
+        model_factory=model_factory,
+        tree_config=tree_config,
+        rng=np.random.default_rng(seed),
+    )
+    predictor.fit_offline(dataset)
+    return predictor

@@ -1,0 +1,26 @@
+"""Per-figure/table experiment drivers (see DESIGN.md experiment index).
+
+Each module reproduces one table or figure of the paper and exposes
+``run(...)`` (structured results) and ``main(...)`` (a printable,
+paper-style report).  Slot budgets scale with the ``REPRO_SCALE``
+environment variable.
+"""
+
+from . import (  # noqa: F401
+    dag_structure,
+    fig03_traffic,
+    fig04_motivation,
+    fig06_ldpc,
+    fig07_leaves,
+    fig08_reclaim,
+    fig09_cache,
+    fig10_sched_latency,
+    fig11_tail_latency,
+    fig12_cores,
+    fig13_pwcet,
+    fig14_prediction,
+    fig15_overhead,
+    longrun,
+    sensitivity,
+    tables,
+)

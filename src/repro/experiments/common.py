@@ -1,0 +1,124 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Every experiment in :mod:`repro.experiments` reproduces one table or
+figure from the paper.  They share:
+
+* a predictor cache (offline training is expensive and reusable);
+* policy factories by name;
+* a slot-budget scale — set the ``REPRO_SCALE`` environment variable to
+  run longer (e.g. ``REPRO_SCALE=10`` for tighter tail percentiles) or
+  shorter experiments than the defaults;
+* plain-text table rendering for the benchmark reports.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..baselines.flexran import DedicatedScheduler, FlexRanScheduler
+from ..baselines.shenango import ShenangoScheduler
+from ..baselines.static import StaticPartitionScheduler
+from ..baselines.utilization import UtilizationScheduler
+from ..core.predictor import ConcordiaPredictor
+from ..core.scheduler import ConcordiaScheduler
+from ..core.training import train_predictor
+from ..ran.config import PoolConfig
+from ..sim.runner import Simulation, SimulationResult
+
+__all__ = [
+    "scaled_slots",
+    "get_predictor",
+    "make_policy",
+    "run_simulation",
+    "format_table",
+]
+
+_PREDICTOR_CACHE: dict = {}
+
+#: Default slots used for offline profiling when training predictors.
+TRAINING_SLOTS = 800
+
+
+def scaled_slots(default: int, minimum: int = 200) -> int:
+    """Apply the REPRO_SCALE environment multiplier to a slot budget."""
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    return max(minimum, int(default * scale))
+
+
+def _config_key(config: PoolConfig) -> tuple:
+    return (
+        tuple((c.name, c.bandwidth_mhz, c.duplex.value, c.numerology)
+              for c in config.cells),
+        config.num_cores,
+    )
+
+
+def get_predictor(config: PoolConfig, seed: int = 42,
+                  num_slots: Optional[int] = None) -> ConcordiaPredictor:
+    """Train (or fetch from cache) the offline predictor for a config."""
+    key = (_config_key(config), seed)
+    if key not in _PREDICTOR_CACHE:
+        slots = num_slots if num_slots is not None else \
+            scaled_slots(TRAINING_SLOTS, minimum=300)
+        _PREDICTOR_CACHE[key] = train_predictor(config, num_slots=slots,
+                                                seed=seed)
+    return _PREDICTOR_CACHE[key]
+
+
+def make_policy(name: str, config: PoolConfig, seed: int = 42, **kwargs):
+    """Instantiate a scheduling policy by name."""
+    if name == "concordia":
+        predictor = kwargs.pop("predictor", None)
+        if predictor is None:
+            predictor = get_predictor(config, seed=seed)
+        return ConcordiaScheduler(predictor, **kwargs)
+    if name == "concordia-noml":
+        return ConcordiaScheduler(predictor=None, **kwargs)
+    if name == "flexran":
+        return FlexRanScheduler()
+    if name == "dedicated":
+        return DedicatedScheduler()
+    if name == "shenango":
+        return ShenangoScheduler(**kwargs)
+    if name == "static":
+        kwargs.setdefault("reserved_cores", max(1, config.num_cores // 2))
+        return StaticPartitionScheduler(**kwargs)
+    if name == "utilization":
+        kwargs.setdefault("slot_duration_us", config.slot_duration_us)
+        return UtilizationScheduler(**kwargs)
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def run_simulation(
+    config: PoolConfig,
+    policy_name: str,
+    workload: str = "none",
+    load_fraction: float = 0.5,
+    num_slots: int = 2000,
+    seed: int = 7,
+    policy_kwargs: Optional[dict] = None,
+    **sim_kwargs,
+) -> SimulationResult:
+    """One full experiment run with a named policy."""
+    policy = make_policy(policy_name, config, seed=42,
+                         **(policy_kwargs or {}))
+    simulation = Simulation(config, policy, workload=workload,
+                            load_fraction=load_fraction, seed=seed,
+                            **sim_kwargs)
+    return simulation.run(num_slots)
+
+
+def format_table(headers: list, rows: list, title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    columns = [headers] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in columns)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in columns[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

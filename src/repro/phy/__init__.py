@@ -1,0 +1,54 @@
+"""Reference PHY kernels.
+
+Small, testable NumPy implementations of the signal-processing
+operations whose *runtimes* the simulator models (paper Appendix A.1):
+CRC attachment/checking, LDPC encoding and iterative decoding, QAM
+modulation/demodulation, OFDM channel estimation and MIMO
+equalization.  They are not meant to be fast — they exist to
+
+* document what each simulated task actually computes, and
+* validate the cost model's qualitative assumptions (e.g. LDPC
+  decoding iterations grow as the SNR margin shrinks, which is the
+  non-linearity Concordia's per-leaf buffers capture).
+
+See :mod:`repro.phy.validate` for the calibration checks.
+"""
+
+from .channel import AwgnChannel, RayleighChannel, ls_channel_estimate
+from .crc import crc16, crc24, crc_append, crc_check
+from .equalizer import mmse_equalize, zf_equalize
+from .ldpc import LdpcCode, decode_bit_flip, encode
+from .modulation import (
+    CONSTELLATIONS,
+    demodulate_hard,
+    modulate,
+    qam_constellation,
+)
+from .ofdm import OfdmConfig, ofdm_demodulate, ofdm_modulate
+from .polar import PolarCode, bsc_llrs, polar_decode_sc, polar_encode
+
+__all__ = [
+    "AwgnChannel",
+    "CONSTELLATIONS",
+    "LdpcCode",
+    "OfdmConfig",
+    "ofdm_demodulate",
+    "ofdm_modulate",
+    "PolarCode",
+    "bsc_llrs",
+    "polar_decode_sc",
+    "polar_encode",
+    "RayleighChannel",
+    "crc16",
+    "crc24",
+    "crc_append",
+    "crc_check",
+    "decode_bit_flip",
+    "demodulate_hard",
+    "encode",
+    "ls_channel_estimate",
+    "mmse_equalize",
+    "modulate",
+    "qam_constellation",
+    "zf_equalize",
+]

@@ -1,0 +1,87 @@
+"""Channels and channel estimation (paper Appendix A.1).
+
+* :class:`AwgnChannel` — complex additive white Gaussian noise at a
+  configured SNR.
+* :class:`RayleighChannel` — flat i.i.d. Rayleigh MIMO channel.
+* :func:`ls_channel_estimate` — least-squares channel estimation from
+  known pilot symbols, the reference for the simulated
+  CHANNEL_ESTIMATION task (interpolating the response through pilots).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["AwgnChannel", "RayleighChannel", "ls_channel_estimate"]
+
+
+class AwgnChannel:
+    """Complex AWGN at a given SNR (unit-energy signalling assumed)."""
+
+    def __init__(self, snr_db: float,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.snr_db = snr_db
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    @property
+    def noise_variance(self) -> float:
+        return 10.0 ** (-self.snr_db / 10.0)
+
+    def __call__(self, symbols: np.ndarray) -> np.ndarray:
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        sigma = np.sqrt(self.noise_variance / 2.0)
+        noise = self.rng.normal(0, sigma, symbols.shape) + \
+            1j * self.rng.normal(0, sigma, symbols.shape)
+        return symbols + noise
+
+
+class RayleighChannel:
+    """Flat i.i.d. Rayleigh MIMO channel: y = H x + n."""
+
+    def __init__(self, num_rx: int, num_tx: int, snr_db: float,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if num_rx < num_tx:
+            raise ValueError("need at least as many receive antennas "
+                             "as spatial streams")
+        self.rng = rng if rng is not None else np.random.default_rng(1)
+        self.num_rx = num_rx
+        self.num_tx = num_tx
+        self.snr_db = snr_db
+        scale = np.sqrt(0.5)
+        self.h = (self.rng.normal(0, scale, (num_rx, num_tx))
+                  + 1j * self.rng.normal(0, scale, (num_rx, num_tx)))
+
+    @property
+    def noise_variance(self) -> float:
+        return 10.0 ** (-self.snr_db / 10.0)
+
+    def transmit(self, x: np.ndarray) -> np.ndarray:
+        """Send one or more symbol vectors (columns) through H."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.complex128))
+        if x.shape[0] != self.num_tx:
+            x = x.T
+        sigma = np.sqrt(self.noise_variance / 2.0)
+        noise = (self.rng.normal(0, sigma, (self.num_rx, x.shape[1]))
+                 + 1j * self.rng.normal(0, sigma, (self.num_rx, x.shape[1])))
+        return self.h @ x + noise
+
+
+def ls_channel_estimate(received_pilots: np.ndarray,
+                        sent_pilots: np.ndarray) -> np.ndarray:
+    """Least-squares MIMO channel estimate from pilot bursts.
+
+    ``sent_pilots``  — (num_tx, num_pilots) known symbols;
+    ``received_pilots`` — (num_rx, num_pilots) observations.
+    Returns the (num_rx, num_tx) channel estimate
+    ``H_hat = Y P^H (P P^H)^-1``.
+    """
+    y = np.atleast_2d(np.asarray(received_pilots, dtype=np.complex128))
+    p = np.atleast_2d(np.asarray(sent_pilots, dtype=np.complex128))
+    if y.shape[1] != p.shape[1]:
+        raise ValueError("pilot lengths differ")
+    if p.shape[1] < p.shape[0]:
+        raise ValueError("need at least as many pilots as streams")
+    gram = p @ p.conj().T
+    return y @ p.conj().T @ np.linalg.inv(gram)

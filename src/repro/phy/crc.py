@@ -1,0 +1,77 @@
+"""Cyclic redundancy checks (3GPP 38.212 §5.1).
+
+5G NR attaches CRC-24A to transport blocks and CRC-24B to code blocks;
+CRC-16 is used for small blocks.  Table-driven bitwise implementation
+over NumPy bit arrays — the reference for the simulator's CRC_ATTACH /
+CRC_CHECK tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["crc24", "crc16", "crc_append", "crc_check",
+           "CRC24A_POLY", "CRC16_POLY"]
+
+#: CRC-24A generator polynomial of 38.212 (x^24 + x^23 + ... + 1),
+#: expressed without the leading x^24 term.
+CRC24A_POLY = 0x864CFB
+#: CRC-16 generator polynomial (CCITT).
+CRC16_POLY = 0x1021
+
+
+def _crc(bits: np.ndarray, poly: int, width: int) -> int:
+    """Bitwise long-division CRC over a 0/1 array (MSB first)."""
+    bits = np.asarray(bits, dtype=np.uint8).ravel()
+    register = 0
+    top = 1 << (width - 1)
+    mask = (1 << width) - 1
+    for bit in bits:
+        register ^= int(bit) << (width - 1)
+        if register & top:
+            register = ((register << 1) ^ poly) & mask
+        else:
+            register = (register << 1) & mask
+    return register
+
+
+def crc24(bits: np.ndarray) -> int:
+    """CRC-24A checksum of a bit array."""
+    return _crc(bits, CRC24A_POLY, 24)
+
+
+def crc16(bits: np.ndarray) -> int:
+    """CRC-16/CCITT checksum of a bit array."""
+    return _crc(bits, CRC16_POLY, 16)
+
+
+def _int_to_bits(value: int, width: int) -> np.ndarray:
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)],
+                    dtype=np.uint8)
+
+
+def crc_append(bits: np.ndarray, width: int = 24) -> np.ndarray:
+    """Append the CRC parity bits to a payload (transport-block CRC)."""
+    bits = np.asarray(bits, dtype=np.uint8).ravel()
+    if width == 24:
+        checksum = crc24(bits)
+    elif width == 16:
+        checksum = crc16(bits)
+    else:
+        raise ValueError(f"unsupported CRC width {width}")
+    return np.concatenate([bits, _int_to_bits(checksum, width)])
+
+
+def crc_check(bits_with_crc: np.ndarray, width: int = 24) -> bool:
+    """Verify a payload+CRC bit array; True when the checksum matches."""
+    bits = np.asarray(bits_with_crc, dtype=np.uint8).ravel()
+    if len(bits) <= width:
+        raise ValueError("input shorter than the CRC itself")
+    payload, parity = bits[:-width], bits[-width:]
+    if width == 24:
+        checksum = crc24(payload)
+    elif width == 16:
+        checksum = crc16(payload)
+    else:
+        raise ValueError(f"unsupported CRC width {width}")
+    return bool(np.array_equal(parity, _int_to_bits(checksum, width)))

@@ -1,0 +1,55 @@
+"""MIMO equalization and precoding references (paper Appendix A.1).
+
+Zero-forcing and MMSE linear equalizers — the reference computations
+behind the simulated EQUALIZATION task (undo the channel at the
+receiver) and, transposed, the PRECODING task (pre-invert it at the
+transmitter).  The paper notes linear schemes are what deployments use;
+their cost scales with antennas × layers × bandwidth, which is how the
+cost model parameterizes those tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zf_equalize", "mmse_equalize", "zf_precoder"]
+
+
+def zf_equalize(h: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Zero-forcing: x_hat = (H^H H)^-1 H^H y (pseudo-inverse)."""
+    h = np.atleast_2d(np.asarray(h, dtype=np.complex128))
+    y = np.atleast_2d(np.asarray(y, dtype=np.complex128))
+    if y.shape[0] != h.shape[0]:
+        raise ValueError("y must have one row per receive antenna")
+    return np.linalg.pinv(h) @ y
+
+
+def mmse_equalize(h: np.ndarray, y: np.ndarray,
+                  noise_variance: float) -> np.ndarray:
+    """Linear MMSE: x_hat = (H^H H + sigma^2 I)^-1 H^H y.
+
+    Trades residual interference against noise amplification; at high
+    SNR it converges to the zero-forcing solution.
+    """
+    if noise_variance < 0:
+        raise ValueError("noise variance must be non-negative")
+    h = np.atleast_2d(np.asarray(h, dtype=np.complex128))
+    y = np.atleast_2d(np.asarray(y, dtype=np.complex128))
+    if y.shape[0] != h.shape[0]:
+        raise ValueError("y must have one row per receive antenna")
+    gram = h.conj().T @ h
+    regularized = gram + noise_variance * np.eye(h.shape[1])
+    return np.linalg.solve(regularized, h.conj().T @ y)
+
+
+def zf_precoder(h: np.ndarray) -> np.ndarray:
+    """Zero-forcing precoder W = H^H (H H^H)^-1, column-normalized.
+
+    Used on the downlink so each user sees its own stream without
+    inter-user interference (the paper's linear-precoding reference).
+    """
+    h = np.atleast_2d(np.asarray(h, dtype=np.complex128))
+    w = h.conj().T @ np.linalg.inv(h @ h.conj().T)
+    norms = np.linalg.norm(w, axis=0, keepdims=True)
+    norms[norms == 0] = 1.0
+    return w / norms

@@ -1,0 +1,118 @@
+"""A small LDPC code with iterative decoding (paper Appendix A.1).
+
+5G NR user data uses quasi-cyclic LDPC codes (38.212).  Here we build a
+regular Gallager-style LDPC code over a deterministic pseudo-random
+parity-check matrix, encode by solving for parity bits, and decode with
+the classic bit-flipping algorithm.  The decoder reports its
+**iteration count**, which is the quantity the cost model cares about:
+decoding effort rises sharply as the channel degrades — the
+non-linearity of §4.1 that makes single-number WCETs pessimistic.
+
+The code here is a faithful miniature, not the 38.212 base graphs: the
+simulator only needs the qualitative iteration/SNR behaviour (validated
+in :mod:`repro.phy.validate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LdpcCode", "encode", "decode_bit_flip", "DecodeResult"]
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of an LDPC decode attempt."""
+
+    bits: np.ndarray
+    iterations: int
+    success: bool
+
+
+class LdpcCode:
+    """Regular (column-weight-3) LDPC code in systematic form.
+
+    The parity-check matrix is brought to the systematic form
+    ``H = [P | I]`` over GF(2) so encoding is ``parity = P @ message``.
+    ``n`` is the block length and ``k`` the message length.
+    """
+
+    def __init__(self, n: int = 96, rate: float = 0.5,
+                 seed: int = 0) -> None:
+        if not 0.1 <= rate <= 0.95:
+            raise ValueError("rate must be in [0.1, 0.95]")
+        if n < 8:
+            raise ValueError("block length too small")
+        self.n = n
+        self.k = int(round(n * rate))
+        m = n - self.k
+        if m < 3:
+            raise ValueError("need at least 3 parity checks")
+        rng = np.random.default_rng(seed)
+        self._h = self._systematic_parity_matrix(n, m, rng)
+
+    @staticmethod
+    def _systematic_parity_matrix(n: int, m: int,
+                                  rng: np.random.Generator) -> np.ndarray:
+        """Random sparse P next to an identity: H = [P | I_m]."""
+        k = n - m
+        p = np.zeros((m, k), dtype=np.uint8)
+        for col in range(k):
+            rows = rng.choice(m, size=min(3, m), replace=False)
+            p[rows, col] = 1
+        # Ensure no empty check rows (every check covers >= 2 columns).
+        for row in range(m):
+            while p[row].sum() < 2:
+                p[row, rng.integers(k)] ^= 1
+        return np.concatenate([p, np.eye(m, dtype=np.uint8)], axis=1)
+
+    @property
+    def parity_check_matrix(self) -> np.ndarray:
+        return self._h.copy()
+
+    @property
+    def rate(self) -> float:
+        return self.k / self.n
+
+    def syndrome(self, codeword: np.ndarray) -> np.ndarray:
+        return (self._h @ np.asarray(codeword, dtype=np.uint8)) % 2
+
+
+def encode(code: LdpcCode, message: np.ndarray) -> np.ndarray:
+    """Systematic encoding: codeword = [message | parity]."""
+    message = np.asarray(message, dtype=np.uint8).ravel()
+    if len(message) != code.k:
+        raise ValueError(f"message must have {code.k} bits")
+    p = code.parity_check_matrix[:, : code.k]
+    parity = (p @ message) % 2
+    return np.concatenate([message, parity]).astype(np.uint8)
+
+
+def decode_bit_flip(code: LdpcCode, received: np.ndarray,
+                    max_iterations: int = 50) -> DecodeResult:
+    """Gallager bit-flipping decoding.
+
+    Each iteration flips the bits participating in the most unsatisfied
+    parity checks; terminates early when the syndrome clears.  The
+    iteration count is the decoder's work measure.
+    """
+    h = code.parity_check_matrix
+    bits = np.asarray(received, dtype=np.uint8).copy().ravel()
+    if len(bits) != code.n:
+        raise ValueError(f"codeword must have {code.n} bits")
+    for iteration in range(1, max_iterations + 1):
+        syndrome = (h @ bits) % 2
+        if not syndrome.any():
+            return DecodeResult(bits=bits, iterations=iteration - 1,
+                                success=True)
+        # Count unsatisfied checks per bit and flip the worst offenders.
+        votes = h.T @ syndrome
+        worst = votes.max()
+        if worst == 0:
+            break
+        bits[votes == worst] ^= 1
+    syndrome = (h @ bits) % 2
+    return DecodeResult(bits=bits, iterations=max_iterations,
+                        success=not syndrome.any())

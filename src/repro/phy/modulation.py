@@ -1,0 +1,74 @@
+"""QAM modulation and demodulation (paper Appendix A.1).
+
+Gray-mapped square constellations for QPSK, 16-QAM, 64-QAM and
+256-QAM, normalized to unit average energy — the reference for the
+simulated MODULATION/DEMODULATION tasks, whose cost grows with the
+modulation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["qam_constellation", "modulate", "demodulate_hard",
+           "CONSTELLATIONS"]
+
+
+def _gray(n: int) -> int:
+    return n ^ (n >> 1)
+
+
+def qam_constellation(bits_per_symbol: int) -> np.ndarray:
+    """Gray-mapped square QAM constellation with unit average energy.
+
+    Index ``i`` holds the complex point for the bit pattern ``i`` (MSB
+    first: first half of the bits select the I coordinate).
+    """
+    if bits_per_symbol % 2 != 0 or bits_per_symbol < 2:
+        raise ValueError("bits_per_symbol must be even and >= 2")
+    half = bits_per_symbol // 2
+    side = 1 << half
+    # PAM levels in Gray order: level j -> amplitude 2*j - (side-1).
+    levels = np.zeros(side)
+    for value in range(side):
+        levels[_gray(value)] = 2 * value - (side - 1)
+    points = np.empty(side * side, dtype=np.complex128)
+    for index in range(side * side):
+        i_bits = index >> half
+        q_bits = index & (side - 1)
+        points[index] = levels[i_bits] + 1j * levels[q_bits]
+    energy = np.mean(np.abs(points) ** 2)
+    return points / np.sqrt(energy)
+
+
+CONSTELLATIONS = {order: qam_constellation(order) for order in (2, 4, 6, 8)}
+
+
+def modulate(bits: np.ndarray, bits_per_symbol: int) -> np.ndarray:
+    """Map a bit array to complex symbols (zero-padded to a multiple)."""
+    constellation = CONSTELLATIONS.get(bits_per_symbol)
+    if constellation is None:
+        constellation = qam_constellation(bits_per_symbol)
+    bits = np.asarray(bits, dtype=np.uint8).ravel()
+    remainder = len(bits) % bits_per_symbol
+    if remainder:
+        bits = np.concatenate([bits,
+                               np.zeros(bits_per_symbol - remainder,
+                                        dtype=np.uint8)])
+    groups = bits.reshape(-1, bits_per_symbol)
+    weights = 1 << np.arange(bits_per_symbol - 1, -1, -1)
+    indices = groups @ weights
+    return constellation[indices]
+
+
+def demodulate_hard(symbols: np.ndarray, bits_per_symbol: int) -> np.ndarray:
+    """Nearest-point hard demodulation back to bits."""
+    constellation = CONSTELLATIONS.get(bits_per_symbol)
+    if constellation is None:
+        constellation = qam_constellation(bits_per_symbol)
+    symbols = np.asarray(symbols, dtype=np.complex128).ravel()
+    distances = np.abs(symbols[:, None] - constellation[None, :])
+    indices = distances.argmin(axis=1)
+    bits = ((indices[:, None] >> np.arange(bits_per_symbol - 1, -1, -1))
+            & 1)
+    return bits.astype(np.uint8).ravel()

@@ -1,0 +1,88 @@
+"""OFDM (i)FFT processing (paper Appendix A.1's front-end tasks).
+
+The simulator's FFT/IFFT tasks correspond to OFDM symbol processing:
+mapping frequency-domain QAM symbols onto subcarriers, converting to
+the time domain, and prepending a cyclic prefix (transmit side); the
+receive side strips the prefix and returns to the frequency domain.
+NumPy-FFT reference implementation used to validate that the front-end
+cost scales with bandwidth (subcarrier count), not with traffic — which
+is why the simulated FFT task costs the same on idle and busy slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OfdmConfig", "ofdm_modulate", "ofdm_demodulate"]
+
+
+@dataclass(frozen=True)
+class OfdmConfig:
+    """OFDM numerology for one carrier."""
+
+    fft_size: int = 2048
+    num_subcarriers: int = 1200  # occupied (active) subcarriers
+    cyclic_prefix: int = 144
+
+    def __post_init__(self) -> None:
+        n = self.fft_size
+        if n < 8 or (n & (n - 1)) != 0:
+            raise ValueError("FFT size must be a power of two >= 8")
+        if not 0 < self.num_subcarriers < self.fft_size:
+            raise ValueError("occupied subcarriers must fit in the FFT")
+        if self.cyclic_prefix < 0 or self.cyclic_prefix >= self.fft_size:
+            raise ValueError("invalid cyclic prefix length")
+
+    @property
+    def symbol_length(self) -> int:
+        """Time-domain samples per OFDM symbol including the prefix."""
+        return self.fft_size + self.cyclic_prefix
+
+    def _mapping(self) -> np.ndarray:
+        """Subcarrier indices: centred around DC, DC unused."""
+        half = self.num_subcarriers // 2
+        negative = np.arange(self.fft_size - half, self.fft_size)
+        positive = np.arange(1, self.num_subcarriers - half + 1)
+        return np.concatenate([negative, positive])
+
+
+def ofdm_modulate(config: OfdmConfig, symbols: np.ndarray) -> np.ndarray:
+    """Frequency-domain symbols -> time-domain samples with CP.
+
+    ``symbols`` is zero-padded to a whole number of OFDM symbols.
+    Returns a 1-D complex array of ``k * symbol_length`` samples.
+    """
+    symbols = np.asarray(symbols, dtype=np.complex128).ravel()
+    per_symbol = config.num_subcarriers
+    remainder = len(symbols) % per_symbol
+    if remainder:
+        symbols = np.concatenate(
+            [symbols, np.zeros(per_symbol - remainder, dtype=complex)])
+    mapping = config._mapping()
+    output = []
+    for start in range(0, len(symbols), per_symbol):
+        grid = np.zeros(config.fft_size, dtype=np.complex128)
+        grid[mapping] = symbols[start:start + per_symbol]
+        time_domain = np.fft.ifft(grid) * np.sqrt(config.fft_size)
+        with_cp = np.concatenate(
+            [time_domain[-config.cyclic_prefix:], time_domain]
+            if config.cyclic_prefix else [time_domain])
+        output.append(with_cp)
+    return np.concatenate(output)
+
+
+def ofdm_demodulate(config: OfdmConfig, samples: np.ndarray) -> np.ndarray:
+    """Time-domain samples -> frequency-domain symbols (CP stripped)."""
+    samples = np.asarray(samples, dtype=np.complex128).ravel()
+    if len(samples) % config.symbol_length != 0:
+        raise ValueError("samples must be whole OFDM symbols")
+    mapping = config._mapping()
+    output = []
+    for start in range(0, len(samples), config.symbol_length):
+        body = samples[start + config.cyclic_prefix:
+                       start + config.symbol_length]
+        grid = np.fft.fft(body) / np.sqrt(config.fft_size)
+        output.append(grid[mapping])
+    return np.concatenate(output)

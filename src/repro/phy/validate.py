@@ -1,0 +1,110 @@
+"""Cost-model validation against the reference PHY kernels.
+
+The simulator's runtime cost model (repro.ran.tasks) encodes
+qualitative claims about the signal-processing algorithms; this module
+*measures* the corresponding quantities on the actual kernels:
+
+* LDPC decoding iterations grow as SNR falls toward the MCS threshold
+  (the §4.1 non-linearity behind Concordia's parameterized WCETs);
+* higher modulation orders are more error-prone at equal SNR (which is
+  why link adaptation picks them only at high SNR);
+* MMSE equalization beats zero-forcing at low SNR and converges to it
+  at high SNR.
+
+Used by tests and the ``examples/phy_validation.py`` walkthrough.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .channel import AwgnChannel, RayleighChannel
+from .equalizer import mmse_equalize, zf_equalize
+from .ldpc import LdpcCode, decode_bit_flip, encode
+from .modulation import demodulate_hard, modulate
+
+__all__ = [
+    "ldpc_iterations_vs_snr",
+    "ber_vs_modulation",
+    "equalizer_mse",
+]
+
+
+def _bsc_from_snr(snr_db: float, bits_per_symbol: int = 2) -> float:
+    """Approximate bit-flip probability of hard-demodulated QAM+AWGN."""
+    # Q-function approximation for Gray-mapped QAM.
+    from math import erfc, sqrt
+    snr = 10.0 ** (snr_db / 10.0)
+    side = 2 ** (bits_per_symbol // 2)
+    factor = 3.0 / (2 * (side**2 - 1))
+    return 0.5 * erfc(sqrt(factor * snr))
+
+
+def ldpc_iterations_vs_snr(
+    snrs_db=(0.0, 2.0, 4.0, 6.0, 8.0),
+    trials: int = 40,
+    code: Optional[LdpcCode] = None,
+    seed: int = 0,
+) -> dict:
+    """Mean decode iterations and success rate per SNR point.
+
+    Bits are flipped with the hard-decision error probability implied
+    by the SNR; the bit-flipping decoder's iteration count is the
+    decoding-work proxy.
+    """
+    rng = np.random.default_rng(seed)
+    code = code if code is not None else LdpcCode(n=96, rate=0.5, seed=1)
+    results = {}
+    for snr_db in snrs_db:
+        flip_prob = _bsc_from_snr(snr_db)
+        iterations = []
+        successes = 0
+        for __ in range(trials):
+            message = rng.integers(0, 2, code.k).astype(np.uint8)
+            codeword = encode(code, message)
+            noisy = codeword ^ (rng.random(code.n) <
+                                flip_prob).astype(np.uint8)
+            outcome = decode_bit_flip(code, noisy, max_iterations=30)
+            iterations.append(outcome.iterations)
+            successes += outcome.success
+        results[snr_db] = {
+            "mean_iterations": float(np.mean(iterations)),
+            "success_rate": successes / trials,
+            "flip_probability": flip_prob,
+        }
+    return results
+
+
+def ber_vs_modulation(snr_db: float = 12.0, num_bits: int = 12_000,
+                      seed: int = 0) -> dict:
+    """Hard-decision BER per modulation order over AWGN."""
+    rng = np.random.default_rng(seed)
+    results = {}
+    for order in (2, 4, 6, 8):
+        bits = rng.integers(0, 2, num_bits).astype(np.uint8)
+        symbols = modulate(bits, order)
+        received = AwgnChannel(snr_db,
+                               rng=np.random.default_rng(seed + order))(
+            symbols)
+        decoded = demodulate_hard(received, order)[: num_bits]
+        results[order] = float(np.mean(decoded != bits))
+    return results
+
+
+def equalizer_mse(snr_db: float, num_rx: int = 4, num_tx: int = 2,
+                  num_vectors: int = 200, seed: int = 0) -> dict:
+    """Mean squared symbol error of ZF vs MMSE over a Rayleigh channel."""
+    rng = np.random.default_rng(seed)
+    channel = RayleighChannel(num_rx, num_tx, snr_db,
+                              rng=np.random.default_rng(seed + 1))
+    sent = (rng.choice([-1, 1], (num_tx, num_vectors))
+            + 1j * rng.choice([-1, 1], (num_tx, num_vectors))) / np.sqrt(2)
+    received = channel.transmit(sent)
+    zf = zf_equalize(channel.h, received)
+    mmse = mmse_equalize(channel.h, received, channel.noise_variance)
+    return {
+        "zf_mse": float(np.mean(np.abs(zf - sent) ** 2)),
+        "mmse_mse": float(np.mean(np.abs(mmse - sent) ** 2)),
+    }

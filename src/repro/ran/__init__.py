@@ -1,0 +1,1 @@
+"""5G NR substrate: cell configs, UEs, task DAGs, traffic generation."""

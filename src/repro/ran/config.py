@@ -1,0 +1,190 @@
+"""Cell and pool configurations (Tables 1 and 2 of the paper).
+
+Two reference deployments are used throughout the evaluation:
+
+* ``100 MHz TDD`` — 2 cells, numerology 1 (500 µs slots), DDDSU TDD
+  pattern, 1.5 ms slot-processing deadline, peak 1.5 Gbps DL /
+  160 Mbps UL per cell, 12-core vRAN pool at peak.
+* ``20 MHz FDD`` — 7 cells, numerology 0 (1 ms slots), UL+DL every
+  slot, 2 ms deadline, peak 380 Mbps DL / 160 Mbps UL per cell,
+  8-core vRAN pool at peak.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Duplex",
+    "SlotType",
+    "CellConfig",
+    "PoolConfig",
+    "cell_100mhz_tdd",
+    "cell_20mhz_fdd",
+    "pool_100mhz_2cells",
+    "pool_20mhz_7cells",
+    "TDD_PATTERN_DDDSU",
+]
+
+
+class Duplex(enum.Enum):
+    """Duplexing mode of a cell."""
+
+    FDD = "fdd"
+    TDD = "tdd"
+
+
+class SlotType(enum.Enum):
+    """Link direction(s) processed in a slot."""
+
+    DOWNLINK = "D"
+    UPLINK = "U"
+    SPECIAL = "S"  # mostly DL symbols plus a short UL portion
+    FULL_DUPLEX = "F"  # FDD: both directions every slot
+
+
+# The standard 5G NR TDD pattern used in the paper's 100 MHz scenarios.
+TDD_PATTERN_DDDSU: tuple[SlotType, ...] = (
+    SlotType.DOWNLINK,
+    SlotType.DOWNLINK,
+    SlotType.DOWNLINK,
+    SlotType.SPECIAL,
+    SlotType.UPLINK,
+)
+
+#: 3GPP 38.211 slot durations per numerology (µs).
+SLOT_DURATION_US = {0: 1000.0, 1: 500.0, 2: 250.0, 3: 125.0, 4: 62.5}
+
+
+@dataclass(frozen=True)
+class CellConfig:
+    """Static configuration of a single 5G NR cell."""
+
+    name: str
+    bandwidth_mhz: float
+    duplex: Duplex
+    numerology: int
+    peak_dl_mbps: float
+    peak_ul_mbps: float
+    avg_dl_mbps: float
+    avg_ul_mbps: float
+    max_ues_per_slot: int = 16
+    num_antennas: int = 4
+    max_layers: int = 4
+    tdd_pattern: tuple[SlotType, ...] = TDD_PATTERN_DDDSU
+
+    def __post_init__(self) -> None:
+        if self.numerology not in SLOT_DURATION_US:
+            raise ValueError(f"unsupported numerology {self.numerology}")
+        if self.bandwidth_mhz <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.peak_dl_mbps < self.avg_dl_mbps or self.peak_ul_mbps < self.avg_ul_mbps:
+            raise ValueError("peak throughput must be >= average throughput")
+
+    @property
+    def slot_duration_us(self) -> float:
+        """Slot (TTI) duration in microseconds."""
+        return SLOT_DURATION_US[self.numerology]
+
+    def slot_type(self, slot_index: int) -> SlotType:
+        """Direction of slot ``slot_index`` under this cell's duplexing."""
+        if self.duplex is Duplex.FDD:
+            return SlotType.FULL_DUPLEX
+        return self.tdd_pattern[slot_index % len(self.tdd_pattern)]
+
+    def peak_bytes_per_slot(self, uplink: bool) -> float:
+        """Peak transport bytes carried in one slot for a direction.
+
+        For TDD the per-direction peak is concentrated in that
+        direction's slots, so the per-slot volume is scaled by the
+        inverse of the direction's share of the TDD pattern.
+        """
+        mbps = self.peak_ul_mbps if uplink else self.peak_dl_mbps
+        bytes_per_us = mbps * 1e6 / 8.0 / 1e6
+        per_slot = bytes_per_us * self.slot_duration_us
+        if self.duplex is Duplex.TDD:
+            share = self._direction_share(uplink)
+            if share > 0:
+                per_slot /= share
+        return per_slot
+
+    def _direction_share(self, uplink: bool) -> float:
+        """Fraction of TDD slots carrying the given direction."""
+        weights = 0.0
+        for slot in self.tdd_pattern:
+            if slot is SlotType.SPECIAL:
+                weights += 0.3 if uplink else 0.5
+            elif (slot is SlotType.UPLINK) == uplink:
+                weights += 1.0
+        return weights / len(self.tdd_pattern)
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """A vRAN pool: a set of cells sharing a bank of CPU cores."""
+
+    cells: tuple[CellConfig, ...]
+    num_cores: int
+    deadline_us: float
+    scheduler_tick_us: float = 20.0
+    core_rotation_us: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ValueError("pool needs at least one cell")
+        if self.num_cores <= 0:
+            raise ValueError("pool needs at least one core")
+        if self.deadline_us <= 0:
+            raise ValueError("deadline must be positive")
+        numerologies = {c.numerology for c in self.cells}
+        if len(numerologies) != 1:
+            raise ValueError("all pooled cells must share a numerology")
+
+    @property
+    def slot_duration_us(self) -> float:
+        return self.cells[0].slot_duration_us
+
+
+def cell_100mhz_tdd(name: str = "cell100") -> CellConfig:
+    """The paper's 100 MHz TDD cell (Table 1/2)."""
+    return CellConfig(
+        name=name,
+        bandwidth_mhz=100.0,
+        duplex=Duplex.TDD,
+        numerology=1,
+        peak_dl_mbps=1500.0,
+        peak_ul_mbps=160.0,
+        avg_dl_mbps=750.0,
+        avg_ul_mbps=80.0,
+        num_antennas=4,
+        max_layers=4,
+    )
+
+
+def cell_20mhz_fdd(name: str = "cell20") -> CellConfig:
+    """The paper's 20 MHz FDD cell (Table 1/2)."""
+    return CellConfig(
+        name=name,
+        bandwidth_mhz=20.0,
+        duplex=Duplex.FDD,
+        numerology=0,
+        peak_dl_mbps=380.0,
+        peak_ul_mbps=160.0,
+        avg_dl_mbps=270.0,
+        avg_ul_mbps=120.0,
+        num_antennas=2,
+        max_layers=2,
+    )
+
+
+def pool_100mhz_2cells(num_cores: int = 12, deadline_us: float = 1500.0) -> PoolConfig:
+    """Table 1/2 deployment: 2 × 100 MHz TDD cells, 1.5 ms deadline."""
+    cells = tuple(cell_100mhz_tdd(f"cell100-{i}") for i in range(2))
+    return PoolConfig(cells=cells, num_cores=num_cores, deadline_us=deadline_us)
+
+
+def pool_20mhz_7cells(num_cores: int = 8, deadline_us: float = 2000.0) -> PoolConfig:
+    """Table 1/2 deployment: 7 × 20 MHz FDD cells, 2 ms deadline."""
+    cells = tuple(cell_20mhz_fdd(f"cell20-{i}") for i in range(7))
+    return PoolConfig(cells=cells, num_cores=num_cores, deadline_us=deadline_us)

@@ -1,0 +1,313 @@
+"""Construction of per-slot signal-processing DAGs (paper Fig. 1 / Fig. 16).
+
+Every slot, each cell contributes one DAG per active direction.  The
+uplink chain is::
+
+    FFT -> ChanEst -> Equalize -> Demod -> Descramble -> RateDematch
+        -> {LDPC decode groups, parallel} -> CRC check
+
+and the downlink chain is::
+
+    CRC attach -> {LDPC encode groups, parallel} -> RateMatch
+        -> Scramble -> Modulate -> Precode -> iFFT
+
+Codeblocks are split into groups of at most :data:`MAX_CBS_PER_TASK`
+per encode/decode task so that heavy coding work parallelizes across
+worker cores, exactly like FlexRAN fans codeblocks out to its pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .config import CellConfig
+from .tasks import (
+    CostModel,
+    TaskInstance,
+    TaskType,
+    prbs_for_bandwidth,
+    slot_base_features,
+    task_feature_vector,
+)
+from .ue import SlotLoad, UeAllocation
+
+__all__ = ["DagInstance", "DagBuilder", "MAX_CBS_PER_TASK"]
+
+#: Maximum codeblocks bundled into one encode/decode task instance.
+MAX_CBS_PER_TASK = 4
+
+
+@dataclass
+class DagInstance:
+    """One slot's worth of dependent signal-processing tasks for a cell."""
+
+    dag_id: int
+    cell_name: str
+    slot_index: int
+    uplink: bool
+    release_us: float
+    deadline_us: float
+    tasks: list = field(default_factory=list)  # topological order
+    tasks_remaining: int = 0
+    completion_us: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.tasks_remaining == 0
+
+    @property
+    def latency_us(self) -> Optional[float]:
+        """Slot processing latency: completion relative to release."""
+        if self.completion_us is None:
+            return None
+        return self.completion_us - self.release_us
+
+    def entry_tasks(self) -> list:
+        return [t for t in self.tasks if t.predecessors_remaining == 0
+                and t.start_time is None]
+
+    def remaining_work_us(self, wcet: Callable[[TaskInstance], float],
+                          now: float) -> float:
+        """Sum of predicted-remaining WCETs over unfinished tasks."""
+        total = 0.0
+        for task in self.tasks:
+            if task.finish_time is not None:
+                continue
+            estimate = wcet(task)
+            if task.start_time is not None:
+                estimate = max(0.0, estimate - (now - task.start_time))
+            total += estimate
+        return total
+
+    def remaining_critical_path_us(self, wcet: Callable[[TaskInstance], float],
+                                   now: float) -> float:
+        """Longest remaining chain of predicted WCETs through the DAG.
+
+        Tasks are stored in topological order, so a single reverse sweep
+        computes the longest path to any sink.  Finished tasks contribute
+        zero; running tasks contribute their remaining estimate.
+        """
+        if self.tasks_remaining == 0:
+            return 0.0
+        longest_from: dict[int, float] = {}
+        best = 0.0
+        for task in reversed(self.tasks):
+            if task.finish_time is not None:
+                cost = 0.0
+            else:
+                cost = wcet(task)
+                if task.start_time is not None:
+                    cost = max(0.0, cost - (now - task.start_time))
+            tail = max(
+                (longest_from.get(id(s), 0.0) for s in task.successors),
+                default=0.0,
+            )
+            longest_from[id(task)] = cost + tail
+            if cost + tail > best:
+                best = cost + tail
+        return best
+
+
+def _link(parent: TaskInstance, child: TaskInstance) -> None:
+    parent.successors.append(child)
+    child.predecessors_remaining += 1
+
+
+class DagBuilder:
+    """Factory turning :class:`SlotLoad` objects into task DAGs."""
+
+    def __init__(self, cost_model: CostModel,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.cost_model = cost_model
+        self.rng = rng if rng is not None else np.random.default_rng(1)
+        self._task_ids = itertools.count()
+        self._dag_ids = itertools.count()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _new_task(
+        self,
+        task_type: TaskType,
+        load: SlotLoad,
+        cell: CellConfig,
+        base_features: np.ndarray,
+        *,
+        task_codeblocks: int = 0,
+        task_bytes: float = 0.0,
+        snr_margin_db: float = 10.0,
+        code_rate: float = 0.6,
+        prb_share: float = 1.0,
+        layers: int = 1,
+    ) -> TaskInstance:
+        prbs = prbs_for_bandwidth(cell.bandwidth_mhz, cell.numerology)
+        base = self.cost_model.base_cost_us(
+            task_type,
+            prbs=prbs,
+            antennas=cell.num_antennas,
+            total_layers=load.total_layers,
+            slot_bytes=load.total_bytes,
+            slot_codeblocks=load.total_codeblocks,
+            task_codeblocks=task_codeblocks,
+            task_bytes=task_bytes,
+            snr_margin_db=snr_margin_db,
+            code_rate=code_rate,
+            prb_share=prb_share,
+            layers=layers,
+        )
+        features = task_feature_vector(
+            base_features, task_codeblocks, task_bytes, self.rng.random()
+        )
+        return TaskInstance(
+            task_id=next(self._task_ids),
+            task_type=task_type,
+            cell_name=cell.name,
+            features=features,
+            base_cost_us=base,
+            snr_margin_db=snr_margin_db,
+        )
+
+    @staticmethod
+    def _codeblock_groups(
+        alloc: UeAllocation,
+    ) -> list[tuple[int, float, float, float]]:
+        """Split one UE's codeblocks into (#cbs, bytes, margin, rate) groups."""
+        groups = []
+        cbs = alloc.num_codeblocks
+        if cbs == 0:
+            return groups
+        margin = alloc.snr_db - alloc.mcs.min_snr_db
+        bytes_per_cb = alloc.tbs_bytes / cbs
+        while cbs > 0:
+            group = min(cbs, MAX_CBS_PER_TASK)
+            groups.append(
+                (group, group * bytes_per_cb, margin, alloc.mcs.code_rate)
+            )
+            cbs -= group
+        return groups
+
+    # -- public API ---------------------------------------------------------
+
+    def build(self, load: SlotLoad, cell: CellConfig,
+              release_us: float, deadline_us: float) -> DagInstance:
+        """Build the DAG for one (cell, direction, slot)."""
+        base_features = slot_base_features(load, cell, load.slot_index)
+        if load.uplink:
+            tasks = self._build_uplink(load, cell, base_features)
+        else:
+            tasks = self._build_downlink(load, cell, base_features)
+        dag = DagInstance(
+            dag_id=next(self._dag_ids),
+            cell_name=cell.name,
+            slot_index=load.slot_index,
+            uplink=load.uplink,
+            release_us=release_us,
+            deadline_us=deadline_us,
+            tasks=tasks,
+            tasks_remaining=len(tasks),
+        )
+        for task in tasks:
+            task.dag = dag
+        return dag
+
+    def _build_uplink(self, load: SlotLoad, cell: CellConfig,
+                      base_features: np.ndarray) -> list:
+        """FFT -> per-UE (ChanEst..RateDematch -> decode groups) -> CRC.
+
+        FlexRAN processes scheduled UEs in parallel branches; the slot's
+        critical path is the front-end FFT plus one UE's chain plus one
+        decode group, not the sum over UEs.
+        """
+        fft = self._new_task(TaskType.FFT, load, cell, base_features)
+        tasks = [fft]
+        if load.idle:
+            # Front-end processing runs even on empty slots (no PUSCH).
+            return tasks
+        crc = self._new_task(TaskType.CRC_CHECK, load, cell, base_features)
+        slot_bytes = max(load.total_bytes, 1)
+        for alloc in load.allocations:
+            share = alloc.tbs_bytes / slot_bytes
+            margin = alloc.snr_db - alloc.mcs.min_snr_db
+            prev = fft
+            for task_type in (TaskType.CHANNEL_ESTIMATION,
+                              TaskType.EQUALIZATION,
+                              TaskType.DEMODULATION,
+                              TaskType.DESCRAMBLING,
+                              TaskType.RATE_DEMATCH):
+                task = self._new_task(
+                    task_type, load, cell, base_features,
+                    task_bytes=alloc.tbs_bytes,
+                    snr_margin_db=margin,
+                    code_rate=alloc.mcs.code_rate,
+                    prb_share=share,
+                    layers=alloc.layers,
+                )
+                _link(prev, task)
+                tasks.append(task)
+                prev = task
+            for cbs, grp_bytes, grp_margin, rate in self._codeblock_groups(alloc):
+                decode = self._new_task(
+                    TaskType.LDPC_DECODE, load, cell, base_features,
+                    task_codeblocks=cbs, task_bytes=grp_bytes,
+                    snr_margin_db=grp_margin, code_rate=rate,
+                    prb_share=share, layers=alloc.layers,
+                )
+                _link(prev, decode)
+                _link(decode, crc)
+                tasks.append(decode)
+        tasks.append(crc)
+        return tasks
+
+    def _build_downlink(self, load: SlotLoad, cell: CellConfig,
+                        base_features: np.ndarray) -> list:
+        """CRC -> per-UE (encode groups -> RateMatch..Modulate) -> Precode -> iFFT."""
+        if load.idle:
+            # Broadcast/control symbols still get modulated and precoded.
+            mod = self._new_task(TaskType.MODULATION, load, cell, base_features)
+            ifft = self._new_task(TaskType.IFFT, load, cell, base_features)
+            _link(mod, ifft)
+            return [mod, ifft]
+        crc = self._new_task(TaskType.CRC_ATTACH, load, cell, base_features)
+        tasks = [crc]
+        precode = self._new_task(TaskType.PRECODING, load, cell, base_features)
+        slot_bytes = max(load.total_bytes, 1)
+        for alloc in load.allocations:
+            share = alloc.tbs_bytes / slot_bytes
+            margin = alloc.snr_db - alloc.mcs.min_snr_db
+            rate_match = self._new_task(
+                TaskType.RATE_MATCH, load, cell, base_features,
+                task_bytes=alloc.tbs_bytes, snr_margin_db=margin,
+                code_rate=alloc.mcs.code_rate, prb_share=share,
+                layers=alloc.layers,
+            )
+            for cbs, grp_bytes, grp_margin, rate in self._codeblock_groups(alloc):
+                encode = self._new_task(
+                    TaskType.LDPC_ENCODE, load, cell, base_features,
+                    task_codeblocks=cbs, task_bytes=grp_bytes,
+                    snr_margin_db=grp_margin, code_rate=rate,
+                    prb_share=share, layers=alloc.layers,
+                )
+                _link(crc, encode)
+                _link(encode, rate_match)
+                tasks.append(encode)
+            tasks.append(rate_match)
+            prev = rate_match
+            for task_type in (TaskType.SCRAMBLING, TaskType.MODULATION):
+                task = self._new_task(
+                    task_type, load, cell, base_features,
+                    task_bytes=alloc.tbs_bytes, snr_margin_db=margin,
+                    code_rate=alloc.mcs.code_rate, prb_share=share,
+                    layers=alloc.layers,
+                )
+                _link(prev, task)
+                tasks.append(task)
+                prev = task
+            _link(prev, precode)
+        tasks.append(precode)
+        ifft = self._new_task(TaskType.IFFT, load, cell, base_features)
+        _link(precode, ifft)
+        tasks.append(ifft)
+        return tasks

@@ -1,0 +1,179 @@
+"""UE (user equipment) modelling: MCS tables, transport blocks, codeblocks.
+
+The WCET of a signal-processing task depends on the per-slot state of
+the scheduled UEs: how many there are, their transport block sizes,
+modulation-and-coding schemes (MCS), spatial layers and signal quality.
+This module provides that state, derived from the 3GPP 38.214 MCS
+structure in simplified form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MCS_TABLE",
+    "McsEntry",
+    "UeAllocation",
+    "SlotLoad",
+    "bytes_to_allocations",
+    "CODEBLOCK_BITS",
+]
+
+#: LDPC base-graph-1 maximum codeblock size in bits (38.212).
+CODEBLOCK_BITS = 8448
+
+
+@dataclass(frozen=True)
+class McsEntry:
+    """One row of the (simplified) 5G NR MCS table."""
+
+    index: int
+    modulation_order: int  # bits per symbol: 2=QPSK, 4=16QAM, 6=64QAM, 8=256QAM
+    code_rate: float  # effective code rate in (0, 1)
+    min_snr_db: float  # SNR at which this MCS is typically selected
+
+    @property
+    def spectral_efficiency(self) -> float:
+        return self.modulation_order * self.code_rate
+
+
+def _build_mcs_table() -> tuple[McsEntry, ...]:
+    """Simplified 28-entry MCS table spanning QPSK..256QAM."""
+    entries = []
+    # (modulation order, code-rate range, SNR range) per modulation family.
+    families = [
+        (2, 0.12, 0.66, -6.0, 4.0, 7),
+        (4, 0.37, 0.64, 4.0, 11.0, 7),
+        (6, 0.45, 0.93, 11.0, 19.0, 9),
+        (8, 0.70, 0.93, 19.0, 25.0, 5),
+    ]
+    index = 0
+    for mod, rate_lo, rate_hi, snr_lo, snr_hi, count in families:
+        for i in range(count):
+            frac = i / max(count - 1, 1)
+            entries.append(
+                McsEntry(
+                    index=index,
+                    modulation_order=mod,
+                    code_rate=rate_lo + frac * (rate_hi - rate_lo),
+                    min_snr_db=snr_lo + frac * (snr_hi - snr_lo),
+                )
+            )
+            index += 1
+    return tuple(entries)
+
+
+MCS_TABLE: tuple[McsEntry, ...] = _build_mcs_table()
+
+
+def mcs_for_snr(snr_db: float) -> McsEntry:
+    """Highest MCS whose SNR threshold is satisfied (link adaptation)."""
+    chosen = MCS_TABLE[0]
+    for entry in MCS_TABLE:
+        if snr_db >= entry.min_snr_db:
+            chosen = entry
+    return chosen
+
+
+@dataclass(frozen=True)
+class UeAllocation:
+    """Per-slot allocation of one UE in one direction."""
+
+    ue_id: int
+    tbs_bytes: int  # transport block size
+    mcs: McsEntry
+    layers: int
+    snr_db: float
+
+    def __post_init__(self) -> None:
+        if self.tbs_bytes < 0:
+            raise ValueError("negative transport block size")
+        if self.layers < 1:
+            raise ValueError("a scheduled UE uses at least one layer")
+
+    @property
+    def num_codeblocks(self) -> int:
+        """Number of LDPC codeblocks the transport block segments into."""
+        if self.tbs_bytes == 0:
+            return 0
+        return max(1, math.ceil(self.tbs_bytes * 8 / CODEBLOCK_BITS))
+
+
+class SlotLoad:
+    """Everything the PHY must process for one cell in one direction.
+
+    Aggregates are precomputed once at construction — they are read on
+    the simulator's hot path (one DAG per slot per cell per direction).
+    """
+
+    __slots__ = ("cell_name", "slot_index", "uplink", "allocations",
+                 "num_ues", "total_bytes", "total_codeblocks",
+                 "total_layers")
+
+    def __init__(self, cell_name: str, slot_index: int, uplink: bool,
+                 allocations: tuple) -> None:
+        self.cell_name = cell_name
+        self.slot_index = slot_index
+        self.uplink = uplink
+        self.allocations = allocations
+        self.num_ues = len(allocations)
+        self.total_bytes = sum(a.tbs_bytes for a in allocations)
+        self.total_codeblocks = sum(a.num_codeblocks for a in allocations)
+        self.total_layers = sum(a.layers for a in allocations)
+
+    @property
+    def idle(self) -> bool:
+        return self.total_bytes == 0
+
+    def __repr__(self) -> str:
+        return (f"SlotLoad(cell={self.cell_name!r}, slot={self.slot_index}, "
+                f"uplink={self.uplink}, ues={self.num_ues}, "
+                f"bytes={self.total_bytes})")
+
+
+def bytes_to_allocations(
+    total_bytes: int,
+    rng: np.random.Generator,
+    max_ues: int = 16,
+    max_layers: int = 4,
+    mean_snr_db: float = 15.0,
+    ue_id_base: int = 0,
+) -> tuple[UeAllocation, ...]:
+    """Split a slot's byte volume across a random set of UEs.
+
+    The number of UEs grows with the traffic volume (a busy slot is busy
+    because many users transmit), the per-UE share is Dirichlet-random,
+    and each UE gets an SNR-driven MCS and a random layer count.
+    """
+    if total_bytes <= 0:
+        return ()
+    # Scale UE count with volume: ~1 UE per 4 KB, at least 1, at most max.
+    mean_ues = 1.0 + total_bytes / 4096.0
+    num_ues = int(min(max_ues, max(1, rng.poisson(mean_ues))))
+    shares = rng.dirichlet(np.ones(num_ues) * 2.0)
+    allocations = []
+    remaining = total_bytes
+    for i, share in enumerate(shares):
+        if i == num_ues - 1:
+            tbs = remaining
+        else:
+            tbs = int(round(share * total_bytes))
+            tbs = min(tbs, remaining)
+        remaining -= tbs
+        if tbs <= 0:
+            continue
+        snr = float(rng.normal(mean_snr_db, 6.0))
+        allocations.append(
+            UeAllocation(
+                ue_id=ue_id_base + i,
+                tbs_bytes=tbs,
+                mcs=mcs_for_snr(snr),
+                layers=int(rng.integers(1, max_layers + 1)),
+                snr_db=snr,
+            )
+        )
+    return tuple(allocations)

@@ -1,0 +1,1 @@
+"""Simulation substrate: event engine, CPU pool, OS and cache models."""

@@ -1,0 +1,59 @@
+"""Buffered random-variate generation for simulation hot paths.
+
+``numpy.random.Generator`` has ~1 µs of per-call overhead, which
+dominates when several variates are drawn for every one of the tens of
+millions of task executions in a long run.  ``FastRng`` amortizes that
+by drawing blocks of standard variates up front and serving them from
+an index.  Determinism is preserved: a given seed produces the same
+stream regardless of block size.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["FastRng"]
+
+_BLOCK = 16384
+
+
+class FastRng:
+    """Buffered uniform/normal sampling on top of a NumPy Generator."""
+
+    __slots__ = ("generator", "_uniform", "_ui", "_normal", "_ni")
+
+    def __init__(self, generator: np.random.Generator) -> None:
+        self.generator = generator
+        self._uniform = generator.random(_BLOCK)
+        self._ui = 0
+        self._normal = generator.standard_normal(_BLOCK)
+        self._ni = 0
+
+    def random(self) -> float:
+        """Uniform in [0, 1)."""
+        i = self._ui
+        if i == _BLOCK:
+            self._uniform = self.generator.random(_BLOCK)
+            i = 0
+        self._ui = i + 1
+        return self._uniform[i]
+
+    def uniform(self, low: float, high: float) -> float:
+        return low + (high - low) * self.random()
+
+    def standard_normal(self) -> float:
+        i = self._ni
+        if i == _BLOCK:
+            self._normal = self.generator.standard_normal(_BLOCK)
+            i = 0
+        self._ni = i + 1
+        return self._normal[i]
+
+    def normal(self, loc: float, scale: float) -> float:
+        return loc + scale * self.standard_normal()
+
+    def exponential(self, scale: float = 1.0) -> float:
+        """Exponential variate via inverse transform."""
+        return -scale * math.log(1.0 - self.random())

@@ -1,0 +1,188 @@
+"""Measurement collectors shared by all experiments.
+
+Tracks everything the paper's evaluation reports:
+
+* per-slot (DAG) processing latencies and deadline outcomes (Fig. 4b,
+  11, 12, 15b);
+* reserved vs best-effort core-time integrals, i.e. reclaimed CPU
+  (Fig. 8a, 13a);
+* busy core-time for vRAN CPU-utilization numbers (Fig. 4a, Table 3);
+* scheduling (wakeup) events and their latency histogram (Fig. 10);
+* best-effort preemption counts used by the workload models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Metrics", "LatencySummary", "SCHED_LATENCY_BUCKETS_US"]
+
+#: Fig. 10's histogram bucket boundaries (µs).
+SCHED_LATENCY_BUCKETS_US = (1.0, 3.0, 7.0, 15.0, 31.0, 63.0, 127.0, 255.0,
+                            float("inf"))
+
+
+@dataclass
+class LatencySummary:
+    """Percentile summary of slot-processing latencies."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p99_us: float
+    p9999_us: float
+    p99999_us: float
+    max_us: float
+    deadline_us: float
+    miss_fraction: float
+
+    @property
+    def meets_four_nines(self) -> bool:
+        return self.p9999_us <= self.deadline_us
+
+    @property
+    def meets_five_nines(self) -> bool:
+        return self.p99999_us <= self.deadline_us
+
+
+class Metrics:
+    """Accumulates simulation measurements; cheap enough for hot paths."""
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+        self.slot_latencies: list[float] = []
+        self.slot_deadlines_missed = 0
+        self.slot_count = 0
+        # Core-time integrals (core-µs).
+        self._reserved_cores = 0
+        self._running_cores = 0
+        self._last_change_us = 0.0
+        self.reserved_core_time_us = 0.0
+        self.busy_core_time_us = 0.0
+        self.start_time_us = 0.0
+        self.end_time_us = 0.0
+        # Scheduling events.
+        self.wakeup_latencies: list[float] = []
+        self.yield_events = 0
+        self.best_effort_preemptions = 0
+        # Per-task records for predictor evaluation (optional, off by default).
+        self.record_tasks = False
+        self.task_records: list[tuple] = []
+
+    # -- core-time accounting -------------------------------------------------
+
+    def _advance(self, now_us: float) -> None:
+        dt = now_us - self._last_change_us
+        if dt > 0:
+            self.reserved_core_time_us += dt * self._reserved_cores
+            self.busy_core_time_us += dt * self._running_cores
+            self._last_change_us = now_us
+
+    def on_reserved_change(self, now_us: float, reserved: int) -> None:
+        """Called whenever the number of vRAN-held cores changes."""
+        self._advance(now_us)
+        self._reserved_cores = reserved
+
+    def on_running_change(self, now_us: float, running: int) -> None:
+        """Called whenever the number of cores executing tasks changes."""
+        self._advance(now_us)
+        self._running_cores = running
+
+    def finalize(self, now_us: float) -> None:
+        self._advance(now_us)
+        self.end_time_us = now_us
+
+    # -- derived core-time metrics ---------------------------------------------
+
+    @property
+    def duration_us(self) -> float:
+        """Measured span; falls back to the last accounting event when
+        :meth:`finalize` has not been called yet."""
+        end = max(self.end_time_us, self._last_change_us)
+        return max(end - self.start_time_us, 1e-9)
+
+    @property
+    def total_core_time_us(self) -> float:
+        return self.duration_us * self.num_cores
+
+    @property
+    def reclaimed_fraction(self) -> float:
+        """Fraction of pool core-time made available to other workloads."""
+        return 1.0 - self.reserved_core_time_us / self.total_core_time_us
+
+    @property
+    def best_effort_core_time_us(self) -> float:
+        return self.total_core_time_us - self.reserved_core_time_us
+
+    @property
+    def vran_utilization(self) -> float:
+        """Busy fraction of all pool core-time (Fig. 4a's CPU util)."""
+        return self.busy_core_time_us / self.total_core_time_us
+
+    @property
+    def idle_fraction_upper_bound(self) -> float:
+        """Ideal reclaimable fraction: every non-busy cycle recovered."""
+        return 1.0 - self.busy_core_time_us / self.total_core_time_us
+
+    # -- slot latencies -----------------------------------------------------------
+
+    def on_slot_complete(self, latency_us: float, deadline_us: float) -> None:
+        self.slot_count += 1
+        self.slot_latencies.append(latency_us)
+        if latency_us > deadline_us:
+            self.slot_deadlines_missed += 1
+
+    def latency_summary(self, deadline_us: float) -> LatencySummary:
+        if not self.slot_latencies:
+            raise ValueError("no slot latencies recorded")
+        arr = np.asarray(self.slot_latencies)
+        return LatencySummary(
+            count=len(arr),
+            mean_us=float(arr.mean()),
+            p50_us=float(np.percentile(arr, 50)),
+            p99_us=float(np.percentile(arr, 99)),
+            p9999_us=float(np.percentile(arr, 99.99)),
+            p99999_us=float(np.percentile(arr, 99.999)),
+            max_us=float(arr.max()),
+            deadline_us=deadline_us,
+            miss_fraction=self.slot_deadlines_missed / max(1, self.slot_count),
+        )
+
+    # -- scheduling events --------------------------------------------------------
+
+    def on_wakeup(self, latency_us: float) -> None:
+        self.wakeup_latencies.append(latency_us)
+        self.best_effort_preemptions += 1
+
+    def on_yield(self) -> None:
+        self.yield_events += 1
+
+    @property
+    def scheduling_events(self) -> int:
+        return len(self.wakeup_latencies) + self.yield_events
+
+    def wakeup_histogram(self) -> dict[str, int]:
+        """Fig. 10-style histogram of wakeup latencies."""
+        counts = {}
+        edges = (0.0,) + SCHED_LATENCY_BUCKETS_US
+        labels = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            if hi == float("inf"):
+                labels.append(f">{int(lo)}")
+            else:
+                labels.append(f"{int(lo)}-{int(hi)}")
+        arr = np.asarray(self.wakeup_latencies) if self.wakeup_latencies else \
+            np.empty(0)
+        for label, lo, hi in zip(labels, edges[:-1], edges[1:]):
+            counts[label] = int(((arr >= lo) & (arr < hi)).sum())
+        return counts
+
+    # -- per-task records ----------------------------------------------------------
+
+    def on_task_complete(self, task_type: str, predicted_us: Optional[float],
+                         actual_us: float) -> None:
+        if self.record_tasks:
+            self.task_records.append((task_type, predicted_us, actual_us))

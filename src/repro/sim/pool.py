@@ -1,0 +1,400 @@
+"""The vRAN pool: worker threads, EDF task queue, core reservation.
+
+This is the simulated analogue of FlexRAN's queue-based worker-thread
+model (paper §2.1, Fig. 2): a bank of CPU cores, each pinned to a
+worker thread that pulls the earliest-deadline task from a shared
+priority queue.  A worker whose core is *reserved* either runs a task
+or busy-spins; a worker that has *yielded* frees its core for
+best-effort workloads and must be signalled (paying an OS wakeup
+latency) before it can process tasks again.
+
+The pool exposes ``request_cores(n)`` to its scheduling policy and
+handles all mechanics: EDF dispatch, DAG bookkeeping, wakeups, yields,
+core rotation and metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from ..ran.config import PoolConfig
+from ..ran.dag import DagInstance
+from ..ran.tasks import CostModel, TaskInstance
+from .cache import CacheInterferenceModel
+from .engine import Engine
+from .metrics import Metrics
+from .osmodel import WakeupLatencyModel
+from .policy import SchedulerPolicy
+
+__all__ = ["WorkerState", "Worker", "VranPool"]
+
+
+class WorkerState(enum.Enum):
+    YIELDED = "yielded"  # core belongs to best-effort workloads
+    WAKING = "waking"  # signalled; wakeup latency in flight
+    SPINNING = "spinning"  # reserved and polling the queue
+    RUNNING = "running"  # executing a signal-processing task
+
+
+class Worker:
+    """One worker thread pinned to one CPU core."""
+
+    __slots__ = ("core_id", "state", "current_task", "wake_signaled_at",
+                 "wake_event", "pinned_task")
+
+    def __init__(self, core_id: int) -> None:
+        self.core_id = core_id
+        self.state = WorkerState.SPINNING
+        self.current_task: Optional[TaskInstance] = None
+        self.wake_signaled_at: Optional[float] = None
+        self.wake_event = None
+        #: Task bound to this worker's queue while it wakes up
+        #: (per-worker queue affinity; see SchedulerPolicy docs).
+        self.pinned_task: Optional[TaskInstance] = None
+
+
+class VranPool:
+    """Simulated vRAN pool with pluggable core-allocation policy."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: PoolConfig,
+        policy: SchedulerPolicy,
+        cost_model: CostModel,
+        os_model: Optional[WakeupLatencyModel] = None,
+        cache_model: Optional[CacheInterferenceModel] = None,
+        metrics: Optional[Metrics] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.policy = policy
+        self.cost_model = cost_model
+        self.rng = rng if rng is not None else np.random.default_rng(3)
+        self.os_model = os_model if os_model is not None else \
+            WakeupLatencyModel(rng=self.rng)
+        self.cache_model = cache_model if cache_model is not None else \
+            CacheInterferenceModel(rng=self.rng)
+        self.metrics = metrics if metrics is not None else \
+            Metrics(config.num_cores)
+
+        self.workers = [Worker(i) for i in range(config.num_cores)]
+        self._order = list(self.workers)  # rotated preference order
+        # Incremental state counters (hot path; avoid O(cores) scans).
+        self._reserved = config.num_cores
+        self._running = 0
+        self._waking = 0
+        self._pinned = 0
+        self._ready: list[tuple[float, int, TaskInstance]] = []
+        self._seq = itertools.count()
+        self.target_cores = config.num_cores
+        self.active_dags: list[DagInstance] = []
+        self._rotation_offset = 0
+        self._available_listener = None  # WorkloadHost hook
+        #: Optional callback fired with each completed TaskInstance
+        #: (used by offline profiling to collect training datasets).
+        self.task_observer = None
+        #: Optional hardware accelerator (repro.accel) that executes
+        #: offloaded task types instead of the CPU workers (§7).
+        self.accelerator = None
+
+        self.metrics.on_reserved_change(engine.now, config.num_cores)
+        policy.attach(self)
+        if policy.tick_interval_us is not None:
+            self._schedule_tick()
+        if policy.rotate_cores:
+            self.engine.schedule_after(config.core_rotation_us, self._rotate)
+
+    # -- derived state -----------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        return self.config.num_cores
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    @property
+    def reserved_count(self) -> int:
+        return self._reserved
+
+    @property
+    def running_count(self) -> int:
+        return self._running
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    @property
+    def pinned_count(self) -> int:
+        """Ready tasks bound to still-waking workers (queue affinity)."""
+        return self._pinned
+
+    @property
+    def collocation_active(self) -> bool:
+        return self.cache_model.pressure > 0.0
+
+    def overdue_waking(self, threshold_us: float) -> int:
+        """Workers signalled more than ``threshold_us`` ago but still down."""
+        if self._waking == 0:
+            return 0
+        now = self.now
+        return sum(
+            1
+            for w in self.workers
+            if w.state is WorkerState.WAKING
+            and w.wake_signaled_at is not None
+            and now - w.wake_signaled_at > threshold_us
+        )
+
+    def oldest_ready_wait_us(self) -> float:
+        """Queueing delay of the oldest waiting task (0 when none wait).
+
+        Includes tasks pinned to still-waking workers: they sit in a
+        per-worker queue, but they are queued all the same.
+        """
+        oldest: Optional[float] = None
+        if self._ready:
+            oldest = self._ready[0][2].enqueue_time
+        if self._pinned:
+            for worker in self.workers:
+                task = worker.pinned_task
+                if task is not None and task.enqueue_time is not None:
+                    if oldest is None or task.enqueue_time < oldest:
+                        oldest = task.enqueue_time
+        if oldest is None:
+            return 0.0
+        return self.now - oldest
+
+    def set_available_listener(self, listener) -> None:
+        """Register a callback fired as ``listener(now, available_cores)``."""
+        self._available_listener = listener
+        listener(self.now, self.num_cores - self.reserved_count)
+
+    # -- DAG lifecycle --------------------------------------------------------
+
+    def release_slot(self, dags: list[DagInstance]) -> None:
+        """Release the DAGs of a new slot into the pool."""
+        self.policy.on_slot_start(dags, self.now)
+        for dag in dags:
+            self.active_dags.append(dag)
+            for task in dag.entry_tasks():
+                self._enqueue(task)
+        self._dispatch()
+
+    def _enqueue(self, task: TaskInstance) -> None:
+        task.enqueue_time = self.now
+        if self.accelerator is not None and \
+                task.task_type in self.accelerator.offloaded_types:
+            # Offloaded tasks bypass the EDF queue (and therefore the
+            # policy's enqueue hook): the CPU scheduler treats them as
+            # external latency.  Their work still counts via the
+            # slot-start registration and the finish hook.
+            self.accelerator.submit(task)
+            return
+        if self.policy.pin_tasks_to_wakeups and self._pin_to_wakeup(task):
+            self.policy.on_task_enqueued(task)
+            return
+        heapq.heappush(self._ready, (task.deadline_us, next(self._seq), task))
+        self.policy.on_task_enqueued(task)
+
+    def _pin_to_wakeup(self, task: TaskInstance) -> bool:
+        """Bind ``task`` to a freshly woken worker's queue if no core is
+        free to take it right now (per-worker queue affinity)."""
+        for worker in self._order:
+            if worker.state is WorkerState.SPINNING:
+                return False  # someone can take it immediately
+        for worker in self._order:
+            if worker.state is WorkerState.YIELDED:
+                worker.pinned_task = task
+                self._pinned += 1
+                self._wake(worker)
+                return True
+        return False
+
+    def _dispatch(self) -> None:
+        """Hand ready tasks to spinning workers (EDF order)."""
+        if not self._ready or self._running + self._waking >= self._reserved:
+            return
+        for worker in self._order:
+            if not self._ready:
+                break
+            if worker.state is WorkerState.SPINNING:
+                __, __, task = heapq.heappop(self._ready)
+                self._start(worker, task)
+
+    # -- task execution ----------------------------------------------------------
+
+    def _start(self, worker: Worker, task: TaskInstance) -> None:
+        worker.state = WorkerState.RUNNING
+        self._running += 1
+        worker.current_task = task
+        task.start_time = self.now
+        mean_mult, tail_mult = self.cache_model.sample_multipliers(self.now)
+        runtime = self.cost_model.sample_runtime(
+            task,
+            active_cores=self.running_count,
+            interference_multiplier=mean_mult,
+            tail_multiplier=tail_mult,
+        )
+        task.runtime_us = runtime
+        self.metrics.on_running_change(self.now, self.running_count)
+        self.policy.on_task_started(task)
+        self.engine.schedule_after(runtime, lambda: self._finish(worker, task))
+
+    def _finish(self, worker: Worker, task: TaskInstance) -> None:
+        now = self.now
+        worker.current_task = None
+        worker.state = WorkerState.SPINNING
+        self._running -= 1
+        self._complete_task(task, now)
+        self.metrics.on_running_change(now, self.running_count)
+        self.policy.on_task_finished(task)
+        self._dispatch()
+        self._apply_target()
+
+    def complete_offloaded(self, task: TaskInstance) -> None:
+        """Accelerator hand-back: run the shared completion bookkeeping.
+
+        Offloaded tasks never held a CPU worker, so only DAG/successor
+        state is updated; successors released here re-enter the EDF
+        queue for the CPU workers (or go back to the accelerator).
+        """
+        now = self.now
+        self._complete_task(task, now)
+        self.policy.on_task_finished(task)
+        self._dispatch()
+        self._apply_target()
+
+    def _complete_task(self, task: TaskInstance, now: float) -> None:
+        task.finish_time = now
+        dag = task.dag
+        dag.tasks_remaining -= 1
+        self.metrics.on_task_complete(
+            task.task_type.value, task.predicted_wcet_us, task.runtime_us
+        )
+        if dag.tasks_remaining == 0:
+            dag.completion_us = now
+            self.metrics.on_slot_complete(
+                dag.latency_us, dag.deadline_us - dag.release_us
+            )
+            try:
+                self.active_dags.remove(dag)
+            except ValueError:
+                pass
+        # Observers run after the DAG bookkeeping so they can see
+        # completion state (e.g. dag.latency_us on the final task).
+        if self.task_observer is not None:
+            self.task_observer(task)
+        for successor in task.successors:
+            successor.predecessors_remaining -= 1
+            if successor.predecessors_remaining == 0:
+                self._enqueue(successor)
+
+    # -- core allocation ------------------------------------------------------------
+
+    def request_cores(self, n: int) -> None:
+        """Policy entry point: reserve exactly ``n`` cores (best effort).
+
+        Running workers are never preempted mid-task; if the target drops
+        below the running count the extra cores are released as their
+        tasks finish.
+        """
+        self.target_cores = max(0, min(self.num_cores, int(n)))
+        self._apply_target()
+
+    def _apply_target(self) -> None:
+        reserved = self._reserved
+        if reserved == self.target_cores:
+            return
+        if reserved < self.target_cores:
+            deficit = self.target_cores - reserved
+            for worker in self._order:
+                if deficit == 0:
+                    break
+                if worker.state is WorkerState.YIELDED:
+                    self._wake(worker)
+                    deficit -= 1
+        else:
+            excess = reserved - self.target_cores
+            # Release idle (spinning) workers only.
+            for worker in reversed(self._order):
+                if excess == 0:
+                    break
+                if worker.state is WorkerState.SPINNING:
+                    self._yield(worker)
+                    excess -= 1
+
+    def _wake(self, worker: Worker) -> None:
+        worker.state = WorkerState.WAKING
+        self._reserved += 1
+        self._waking += 1
+        worker.wake_signaled_at = self.now
+        latency = self.os_model.sample(self.collocation_active)
+        self.metrics.on_wakeup(latency)
+        self.cache_model.record_scheduling_event(self.now)
+        self.metrics.on_reserved_change(self.now, self.reserved_count)
+        self._notify_available()
+        worker.wake_event = self.engine.schedule_after(
+            latency, lambda: self._awake(worker)
+        )
+
+    def _awake(self, worker: Worker) -> None:
+        if worker.state is not WorkerState.WAKING:
+            return
+        worker.state = WorkerState.SPINNING
+        self._waking -= 1
+        worker.wake_signaled_at = None
+        worker.wake_event = None
+        pinned = worker.pinned_task
+        if pinned is not None:
+            worker.pinned_task = None
+            self._pinned -= 1
+            if pinned.start_time is None:
+                self._start(worker, pinned)
+                return
+        self._dispatch()
+        # The target may have dropped while this core was waking up.
+        if self.reserved_count > self.target_cores and \
+                worker.state is WorkerState.SPINNING:
+            self._yield(worker)
+
+    def _yield(self, worker: Worker) -> None:
+        worker.state = WorkerState.YIELDED
+        self._reserved -= 1
+        self.metrics.on_yield()
+        self.cache_model.record_scheduling_event(self.now)
+        self.metrics.on_reserved_change(self.now, self.reserved_count)
+        self._notify_available()
+
+    def _notify_available(self) -> None:
+        if self._available_listener is not None:
+            self._available_listener(self.now,
+                                     self.num_cores - self.reserved_count)
+
+    # -- periodic machinery -----------------------------------------------------------
+
+    def _schedule_tick(self) -> None:
+        assert self.policy.tick_interval_us is not None
+        self.engine.schedule_after(self.policy.tick_interval_us, self._tick)
+
+    def _tick(self) -> None:
+        self.policy.on_tick(self.now)
+        self._schedule_tick()
+
+    def _rotate(self) -> None:
+        """Rotate preferred core order every 2 ms (§5)."""
+        self._rotation_offset = (self._rotation_offset + 1) % self.num_cores
+        offset = self._rotation_offset
+        workers = self.workers
+        n = self.num_cores
+        self._order = [workers[(i + offset) % n] for i in range(n)]
+        self.engine.schedule_after(self.config.core_rotation_us, self._rotate)

@@ -1,0 +1,288 @@
+"""End-to-end simulation harness.
+
+``Simulation`` assembles the full system for one experiment: cells with
+traffic generators, the DAG builder and cost model, the vRAN pool with
+a scheduling policy, the OS and cache models, and the collocated
+best-effort workloads.  ``run(num_slots)`` drives slot boundaries and
+returns a :class:`SimulationResult` with everything the paper's figures
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..ran.config import PoolConfig, SlotType
+from ..ran.dag import DagBuilder
+from ..ran.harq import HarqManager
+from ..ran.mac import MacCell
+from ..ran.tasks import CostModel
+from ..ran.traffic import CellTraffic
+from ..ran.ue import SlotLoad, bytes_to_allocations
+from ..workloads.base import WorkloadHost
+from ..workloads.catalog import MixController, make_workload
+from .cache import CacheInterferenceModel
+from .engine import Engine
+from .metrics import LatencySummary, Metrics
+from .osmodel import WakeupLatencyModel
+from .policy import SchedulerPolicy
+from .pool import VranPool
+
+__all__ = ["Simulation", "SimulationResult"]
+
+#: Fraction of a direction's traffic carried in a TDD special slot.
+SPECIAL_SLOT_DL_SCALE = 0.5
+SPECIAL_SLOT_UL_SCALE = 0.3
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one simulation run."""
+
+    policy_name: str
+    workload_name: str
+    load_fraction: float
+    num_slots: int
+    duration_us: float
+    latency: LatencySummary
+    reclaimed_fraction: float
+    idle_upper_bound: float
+    vran_utilization: float
+    scheduling_events: int
+    wakeup_histogram: dict
+    workload_ops: dict
+    workload_rates_per_s: dict
+    preemptions_per_core_ms: float
+    mean_stall_increase: float
+    metrics: Metrics = field(repr=False)
+    pool: VranPool = field(repr=False)
+    #: HARQ statistics (only when the simulation ran with harq=True).
+    harq: Optional[dict] = None
+
+    @property
+    def meets_five_nines(self) -> bool:
+        return self.latency.meets_five_nines
+
+
+class Simulation:
+    """One configured experiment: pool + policy + traffic + workloads."""
+
+    def __init__(
+        self,
+        pool_config: PoolConfig,
+        policy: SchedulerPolicy,
+        workload: str = "none",
+        load_fraction: float = 0.5,
+        seed: int = 0,
+        profiling_traffic: bool = False,
+        mix_interval_us: tuple[float, float] = (0.5e6, 2.0e6),
+        record_tasks: bool = False,
+        allocation_mode: str = "iid",
+        harq: bool = False,
+    ) -> None:
+        if allocation_mode not in ("iid", "mac"):
+            raise ValueError("allocation_mode must be 'iid' or 'mac'")
+        self.allocation_mode = allocation_mode
+        self.pool_config = pool_config
+        self.policy = policy
+        self.workload_name = workload
+        self.load_fraction = load_fraction
+        self.profiling_traffic = profiling_traffic
+        seeds = np.random.SeedSequence(seed).spawn(6)
+        self._rng_cost = np.random.default_rng(seeds[0])
+        self._rng_traffic = np.random.default_rng(seeds[1])
+        self._rng_alloc = np.random.default_rng(seeds[2])
+        self._rng_os = np.random.default_rng(seeds[3])
+        self._rng_cache = np.random.default_rng(seeds[4])
+        self._rng_mix = np.random.default_rng(seeds[5])
+
+        self.engine = Engine()
+        self.cost_model = CostModel(rng=self._rng_cost)
+        self.builder = DagBuilder(self.cost_model, rng=self._rng_alloc)
+        self.metrics = Metrics(pool_config.num_cores)
+        self.metrics.record_tasks = record_tasks
+        cache_model = CacheInterferenceModel(rng=self._rng_cache)
+        self.pool = VranPool(
+            engine=self.engine,
+            config=pool_config,
+            policy=policy,
+            cost_model=self.cost_model,
+            os_model=WakeupLatencyModel(rng=self._rng_os),
+            cache_model=cache_model,
+            metrics=self.metrics,
+        )
+        self.host = WorkloadHost(make_workload(workload),
+                                 cache_model=cache_model)
+        self.pool.set_available_listener(self.host.on_available_change)
+        if workload == "mix":
+            MixController(
+                self.engine, self.host,
+                min_interval_us=mix_interval_us[0],
+                max_interval_us=mix_interval_us[1],
+                rng=self._rng_mix,
+            )
+        self.traffic = [
+            CellTraffic.for_cell(
+                cell, load_fraction,
+                rng=np.random.default_rng(self._rng_traffic.integers(2**63)),
+            )
+            for cell in pool_config.cells
+        ]
+        # Optional HARQ loop: failed uplink transport blocks come back
+        # as retransmissions a few slots later.
+        self._harq: dict = {}
+        if harq:
+            for index in range(len(pool_config.cells)):
+                self._harq[index] = HarqManager(
+                    rng=np.random.default_rng(
+                        self._rng_traffic.integers(2**63)))
+        # Optional MAC-layer allocation pipeline (buffer-driven PF
+        # scheduling instead of i.i.d. byte splitting).
+        self._mac: dict = {}
+        if allocation_mode == "mac":
+            for index, cell in enumerate(pool_config.cells):
+                for uplink in (True, False):
+                    rate = (cell.avg_ul_mbps if uplink
+                            else cell.avg_dl_mbps) * 1e6 * load_fraction
+                    if cell.duplex.value == "tdd":
+                        share = cell._direction_share(uplink)
+                        if share > 0:
+                            rate /= share
+                    self._mac[(index, uplink)] = MacCell(
+                        cell,
+                        num_ues=cell.max_ues_per_slot,
+                        total_rate_bps=rate,
+                        rng=np.random.default_rng(
+                            self._rng_traffic.integers(2**63)),
+                    )
+        self._slot_index = 0
+
+    # -- traffic ----------------------------------------------------------------
+
+    def _draw_bytes(self, cell_index: int, uplink: bool,
+                    scale: float = 1.0) -> int:
+        cell = self.pool_config.cells[cell_index]
+        if self.profiling_traffic:
+            # Offline profiling sweeps the input space uniformly
+            # (paper §4.2: parameters varied every TTI).
+            if self._rng_traffic.random() < 0.1:
+                return 0
+            peak = cell.peak_bytes_per_slot(uplink)
+            return int(self._rng_traffic.uniform(0, peak) * scale)
+        generator = self.traffic[cell_index]
+        source = generator.uplink if uplink else generator.downlink
+        return int(source.next_slot() * scale)
+
+    def _loads_for_slot(self, cell_index: int, slot_index: int) -> list:
+        cell = self.pool_config.cells[cell_index]
+        slot_type = cell.slot_type(slot_index)
+        directions: list[tuple[bool, float]] = []
+        if slot_type is SlotType.FULL_DUPLEX:
+            directions = [(True, 1.0), (False, 1.0)]
+        elif slot_type is SlotType.UPLINK:
+            directions = [(True, 1.0)]
+        elif slot_type is SlotType.DOWNLINK:
+            directions = [(False, 1.0)]
+        elif slot_type is SlotType.SPECIAL:
+            directions = [(True, SPECIAL_SLOT_UL_SCALE),
+                          (False, SPECIAL_SLOT_DL_SCALE)]
+        loads = []
+        for uplink, scale in directions:
+            if self.allocation_mode == "mac":
+                allocations = self._mac[(cell_index, uplink)].step()
+            else:
+                total = self._draw_bytes(cell_index, uplink, scale)
+                allocations = bytes_to_allocations(
+                    total, self._rng_alloc,
+                    max_ues=cell.max_ues_per_slot,
+                    max_layers=cell.max_layers,
+                )
+            if uplink and cell_index in self._harq:
+                allocations = self._harq[cell_index].process_slot(
+                    slot_index, allocations)
+            loads.append(SlotLoad(
+                cell_name=cell.name,
+                slot_index=slot_index,
+                uplink=uplink,
+                allocations=allocations,
+            ))
+        return loads
+
+    # -- slot driving --------------------------------------------------------------
+
+    def _on_slot_boundary(self) -> None:
+        now = self.engine.now
+        deadline = now + self.pool_config.deadline_us
+        dags = []
+        for cell_index, cell in enumerate(self.pool_config.cells):
+            for load in self._loads_for_slot(cell_index, self._slot_index):
+                dags.append(self.builder.build(load, cell, now, deadline))
+        self._slot_index += 1
+        self.pool.release_slot(dags)
+
+    def run(self, num_slots: int) -> SimulationResult:
+        """Simulate ``num_slots`` TTIs plus a drain period."""
+        if num_slots <= 0:
+            raise ValueError("num_slots must be positive")
+        slot_us = self.pool_config.slot_duration_us
+        for i in range(num_slots):
+            self.engine.schedule_at(i * slot_us, self._on_slot_boundary)
+        end = num_slots * slot_us
+        self.engine.run_until(end)
+        # Drain: let in-flight DAGs finish (bounded by 4 deadlines).
+        drain_limit = end + 4 * self.pool_config.deadline_us
+        while self.pool.active_dags and self.engine.now < drain_limit:
+            if not self.engine.step():
+                break
+        self.metrics.finalize(self.engine.now)
+        self.host.finalize(self.engine.now)
+        return self._build_result(num_slots)
+
+    def _build_result(self, num_slots: int) -> SimulationResult:
+        duration_us = self.metrics.duration_us
+        duration_ms = duration_us / 1000.0
+        preempt_rate = (
+            self.metrics.best_effort_preemptions
+            / max(duration_ms, 1e-9)
+            / self.pool_config.num_cores
+        )
+        ops = self.host.results(preemptions_per_core_ms=preempt_rate)
+        rates = {name: value / (duration_us / 1e6)
+                 for name, value in ops.items()}
+        return SimulationResult(
+            policy_name=self.policy.name,
+            workload_name=self.workload_name,
+            load_fraction=self.load_fraction,
+            num_slots=num_slots,
+            duration_us=duration_us,
+            latency=self.metrics.latency_summary(self.pool_config.deadline_us),
+            reclaimed_fraction=self.metrics.reclaimed_fraction,
+            idle_upper_bound=self.metrics.idle_fraction_upper_bound,
+            vran_utilization=self.metrics.vran_utilization,
+            scheduling_events=self.metrics.scheduling_events,
+            wakeup_histogram=self.metrics.wakeup_histogram(),
+            workload_ops=ops,
+            workload_rates_per_s=rates,
+            preemptions_per_core_ms=preempt_rate,
+            mean_stall_increase=self.pool.cache_model.mean_stall_increase,
+            metrics=self.metrics,
+            pool=self.pool,
+            harq=self._harq_stats(),
+        )
+
+    def _harq_stats(self) -> Optional[dict]:
+        if not self._harq:
+            return None
+        managers = self._harq.values()
+        blocks = sum(m.transport_blocks for m in managers)
+        return {
+            "transport_blocks": blocks,
+            "retransmissions": sum(m.retransmissions for m in managers),
+            "block_error_rate": sum(m.failures for m in managers)
+            / max(1, blocks),
+            "residual_loss_rate": sum(m.residual_losses for m in managers)
+            / max(1, blocks),
+        }

@@ -1,0 +1,129 @@
+"""Best-effort workload modelling (paper §6 collocation scenarios).
+
+Best-effort workloads (Redis, Nginx, TPCC, MLPerf, or a mix) run on
+whatever cores the vRAN pool is not holding.  Two effects matter for the
+reproduction:
+
+* their **throughput** is proportional to the core-time they obtain,
+  discounted by a sharing-efficiency factor (cache pollution from the
+  vRAN, preemption overhead when cores are reclaimed) — §6.1 reports
+  72–82 % of ideal at low cell load;
+* they exert **cache pressure** on the vRAN, inflating signal-processing
+  runtimes through :class:`repro.sim.cache.CacheInterferenceModel`.
+
+The :class:`WorkloadHost` receives core-availability change events from
+the pool and integrates per-workload usable core-time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["WorkloadSpec", "Workload", "WorkloadHost"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Static description of a best-effort workload."""
+
+    name: str
+    unit: str
+    ops_per_core_second: float  # ideal throughput per dedicated core
+    cache_pressure: float  # in [0, 1]; how hard it hits the LLC
+    base_sharing_efficiency: float  # fraction of ideal when collocated
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cache_pressure <= 1.0:
+            raise ValueError("cache_pressure must be in [0, 1]")
+        if not 0.0 < self.base_sharing_efficiency <= 1.0:
+            raise ValueError("base_sharing_efficiency must be in (0, 1]")
+        if self.ops_per_core_second <= 0:
+            raise ValueError("ops_per_core_second must be positive")
+
+    def ideal_ops(self, cores: int, duration_us: float) -> float:
+        """Throughput achieved on ``cores`` dedicated cores (no vRAN)."""
+        return self.ops_per_core_second * cores * duration_us / 1e6
+
+
+@dataclass
+class Workload:
+    """A running instance of a best-effort workload."""
+
+    spec: WorkloadSpec
+    active: bool = True
+    core_time_us: float = 0.0  # usable core-time accrued so far
+
+    def achieved_ops(self, preemptions_per_core_ms: float = 0.0) -> float:
+        """Operations completed given accrued core-time.
+
+        Preemptions (the vRAN reclaiming a core) cost warm state; the
+        penalty saturates at 30 % on top of the base sharing
+        efficiency.
+        """
+        penalty = min(0.3, 0.05 * preemptions_per_core_ms)
+        efficiency = self.spec.base_sharing_efficiency * (1.0 - penalty)
+        return self.core_time_us / 1e6 * self.spec.ops_per_core_second * efficiency
+
+
+class WorkloadHost:
+    """Splits best-effort core-time among active workloads.
+
+    Registered with the pool via ``pool.set_available_listener``; every
+    time the number of unreserved cores changes the host accrues the
+    elapsed interval to all active workloads (equal shares) and keeps
+    the cache model's pressure in sync with the active set.
+    """
+
+    def __init__(self, workloads: list[Workload], cache_model=None) -> None:
+        self.workloads = workloads
+        self.cache_model = cache_model
+        self._last_time: Optional[float] = None
+        self._available = 0
+        self.total_best_effort_core_us = 0.0
+        self._sync_pressure()
+
+    def _sync_pressure(self) -> None:
+        if self.cache_model is not None:
+            pressure = sum(w.spec.cache_pressure for w in self.workloads
+                           if w.active)
+            self.cache_model.set_pressure(min(1.0, pressure))
+
+    def _accrue(self, now: float) -> None:
+        if self._last_time is None:
+            self._last_time = now
+            return
+        dt = now - self._last_time
+        self._last_time = now
+        if dt <= 0 or self._available <= 0:
+            return
+        core_us = dt * self._available
+        self.total_best_effort_core_us += core_us
+        active = [w for w in self.workloads if w.active]
+        if active:
+            share = core_us / len(active)
+            for workload in active:
+                workload.core_time_us += share
+
+    def on_available_change(self, now: float, available: int) -> None:
+        """Pool callback: the number of best-effort cores changed."""
+        self._accrue(now)
+        self._available = available
+
+    def set_active(self, name: str, active: bool, now: float) -> None:
+        """Toggle a workload on/off (used by the Mix scenario)."""
+        self._accrue(now)
+        for workload in self.workloads:
+            if workload.spec.name == name:
+                workload.active = active
+        self._sync_pressure()
+
+    def finalize(self, now: float) -> None:
+        self._accrue(now)
+
+    def results(self, preemptions_per_core_ms: float = 0.0) -> dict[str, float]:
+        """Achieved throughput (ops/s is up to the caller) per workload."""
+        return {
+            w.spec.name: w.achieved_ops(preemptions_per_core_ms)
+            for w in self.workloads
+        }

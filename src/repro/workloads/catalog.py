@@ -1,0 +1,143 @@
+"""The paper's five collocation scenarios (§6): Redis, Nginx, TPCC,
+MLPerf and a randomly switching Mix.
+
+Ideal per-core throughputs are calibrated so that the "No vRAN"
+reference curves of Fig. 8b-d come out in the paper's reported ranges
+(≈5×10⁶ Redis GET/s, ≈6×10⁴ Nginx req/s and ≈3×10³ TPCC tx/s on 12
+dedicated cores); base sharing efficiencies match the §6.1 yields
+(Redis 76.6 %, Nginx 82.2 %, TPCC 72 %, MLPerf 78 % of ideal at low
+cell load).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Workload, WorkloadHost, WorkloadSpec
+
+__all__ = [
+    "REDIS_GET",
+    "REDIS_SET",
+    "NGINX",
+    "TPCC",
+    "MLPERF",
+    "WORKLOAD_SPECS",
+    "make_workload",
+    "make_host",
+    "MixController",
+]
+
+REDIS_GET = WorkloadSpec(
+    name="redis-get",
+    unit="GET requests/s",
+    ops_per_core_second=430_000.0,
+    cache_pressure=0.25,
+    base_sharing_efficiency=0.766,
+)
+
+REDIS_SET = WorkloadSpec(
+    name="redis-set",
+    unit="SET requests/s",
+    ops_per_core_second=380_000.0,
+    cache_pressure=0.25,
+    base_sharing_efficiency=0.766,
+)
+
+NGINX = WorkloadSpec(
+    name="nginx",
+    unit="HTTP requests/s",
+    ops_per_core_second=5_000.0,
+    cache_pressure=0.20,
+    base_sharing_efficiency=0.822,
+)
+
+TPCC = WorkloadSpec(
+    name="tpcc",
+    unit="transactions/s",
+    ops_per_core_second=250.0,
+    cache_pressure=0.35,
+    base_sharing_efficiency=0.72,
+)
+
+MLPERF = WorkloadSpec(
+    name="mlperf",
+    unit="training samples/s",
+    ops_per_core_second=30.0,
+    cache_pressure=0.45,
+    base_sharing_efficiency=0.78,
+)
+
+WORKLOAD_SPECS = {
+    spec.name: spec
+    for spec in (REDIS_GET, REDIS_SET, NGINX, TPCC, MLPERF)
+}
+
+#: Workload names accepted by :func:`make_host` (``redis`` expands to
+#: GET+SET instances like the paper's 8-container benchmark).
+SCENARIOS = ("none", "redis", "nginx", "tpcc", "mlperf", "mix")
+
+
+def make_workload(name: str) -> list[Workload]:
+    """Instantiate the workload(s) behind a scenario name."""
+    if name == "none":
+        return []
+    if name == "redis":
+        return [Workload(REDIS_GET), Workload(REDIS_SET)]
+    if name == "mix":
+        return [Workload(NGINX), Workload(REDIS_GET), Workload(TPCC)]
+    if name in WORKLOAD_SPECS:
+        return [Workload(WORKLOAD_SPECS[name])]
+    raise ValueError(f"unknown workload scenario {name!r}; "
+                     f"expected one of {SCENARIOS}")
+
+
+def make_host(name: str, cache_model=None) -> WorkloadHost:
+    """Build a :class:`WorkloadHost` for a named scenario."""
+    return WorkloadHost(make_workload(name), cache_model=cache_model)
+
+
+class MixController:
+    """Randomly toggles the Mix workloads on and off (§6).
+
+    The paper switches workloads at random intervals of 10–70 s; the
+    interval range is configurable so short simulations still exercise
+    the switching path.
+    """
+
+    def __init__(
+        self,
+        engine,
+        host: WorkloadHost,
+        min_interval_us: float = 10e6,
+        max_interval_us: float = 70e6,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if min_interval_us <= 0 or max_interval_us < min_interval_us:
+            raise ValueError("invalid toggle interval range")
+        self.engine = engine
+        self.host = host
+        self.min_interval_us = min_interval_us
+        self.max_interval_us = max_interval_us
+        self.rng = rng if rng is not None else np.random.default_rng(17)
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        delay = float(self.rng.uniform(self.min_interval_us,
+                                       self.max_interval_us))
+        self.engine.schedule_after(delay, self._toggle)
+
+    def _toggle(self) -> None:
+        workloads = self.host.workloads
+        if workloads:
+            chosen = workloads[int(self.rng.integers(len(workloads)))]
+            active = [w for w in workloads if w.active]
+            # Never switch the last active workload off: the Mix scenario
+            # keeps pressure on the vRAN throughout the run.
+            if chosen.active and len(active) == 1:
+                chosen = None
+            if chosen is not None:
+                self.host.set_active(chosen.spec.name, not chosen.active,
+                                     self.engine.now)
+        self._schedule_next()

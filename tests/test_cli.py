@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import FIGURES, POLICIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "concordia"
+        assert args.workload == "none"
+        assert args.load == 0.5
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "magic"])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for policy in POLICIES:
+            assert policy in out
+        for figure in FIGURES:
+            assert figure in out
+
+    def test_run_json_output(self, capsys):
+        code = main(["run", "--config", "20mhz", "--policy", "flexran",
+                     "--slots", "200", "--cores", "4", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "flexran"
+        assert payload["latency_us"]["deadline"] == 2000.0
+        assert 0.0 <= payload["reclaimed_fraction"] <= 1.0
+
+    def test_run_text_output(self, capsys):
+        code = main(["run", "--policy", "dedicated", "--slots", "150",
+                     "--cores", "4", "--workload", "nginx"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reclaimed CPU" in out
+        assert "nginx" in out
+
+    def test_run_mac_mode(self, capsys):
+        code = main(["run", "--policy", "flexran", "--slots", "150",
+                     "--cores", "4", "--mac"])
+        assert code == 0
+
+    def test_train(self, capsys):
+        code = main(["train", "--config", "20mhz", "--slots", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "task models" in out
+        assert "ldpc_decode" in out
+
+    def test_figure_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        code = main(["figure", "fig3"])
+        assert code == 0
+        assert "Figure 3" in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Tests for the Fig. 1 / Fig. 16 DAG-structure driver."""
+
+import networkx as nx
+
+from repro.experiments.dag_structure import (
+    build_example_dags,
+    main,
+    render_dag,
+    to_networkx,
+)
+from repro.ran.tasks import TaskType
+
+
+class TestStructure:
+    def test_graphs_are_dags(self):
+        dags = build_example_dags()
+        for dag in dags.values():
+            graph = to_networkx(dag)
+            assert nx.is_directed_acyclic_graph(graph)
+            assert graph.number_of_nodes() == len(dag.tasks)
+
+    def test_uplink_source_and_sink(self):
+        dag = build_example_dags()["uplink"]
+        graph = to_networkx(dag)
+        sources = [n for n in graph if graph.in_degree(n) == 0]
+        sinks = [n for n in graph if graph.out_degree(n) == 0]
+        types = nx.get_node_attributes(graph, "task_type")
+        assert [types[s] for s in sources] == ["fft"]
+        assert [types[s] for s in sinks] == ["crc_check"]
+
+    def test_downlink_sink_is_ifft(self):
+        dag = build_example_dags()["downlink"]
+        graph = to_networkx(dag)
+        sinks = [n for n in graph if graph.out_degree(n) == 0]
+        types = nx.get_node_attributes(graph, "task_type")
+        assert [types[s] for s in sinks] == ["ifft"]
+
+    def test_longest_path_passes_through_decode(self):
+        dag = build_example_dags()["uplink"]
+        graph = to_networkx(dag)
+        types = nx.get_node_attributes(graph, "task_type")
+        path_types = [types[n] for n in nx.dag_longest_path(graph)]
+        assert "ldpc_decode" in path_types
+
+
+class TestRendering:
+    def test_render_marks_longest_chain(self):
+        dags = build_example_dags()
+        text = render_dag(dags["uplink"], "UL")
+        assert text.startswith("UL")
+        assert "*" in text
+        assert "ldpc_decode" in text
+
+    def test_main_renders_both_figures(self):
+        text = main()
+        assert "Figure 1" in text
+        assert "Figure 16" in text
+        assert "precoding" in text

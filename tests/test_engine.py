@@ -1,0 +1,144 @@
+"""Unit and property tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Engine().now == 0.0
+
+    def test_schedule_at_runs_callback_at_time(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(5.0, lambda: seen.append(eng.now))
+        eng.run_until(10.0)
+        assert seen == [5.0]
+
+    def test_schedule_after_is_relative(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(4.0, lambda: eng.schedule_after(3.0,
+                                                        lambda: seen.append(eng.now)))
+        eng.run()
+        assert seen == [7.0]
+
+    def test_schedule_in_past_raises(self):
+        eng = Engine()
+        eng.schedule_at(5.0, lambda: None)
+        eng.run_until(6.0)
+        with pytest.raises(SimulationError):
+            eng.schedule_at(5.5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_after(-1.0, lambda: None)
+
+    def test_same_time_events_fifo(self):
+        eng = Engine()
+        seen = []
+        for tag in range(5):
+            eng.schedule_at(1.0, lambda tag=tag: seen.append(tag))
+        eng.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_run_until_processes_boundary_events(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(10.0, lambda: seen.append("boundary"))
+        eng.run_until(10.0)
+        assert seen == ["boundary"]
+
+    def test_run_until_advances_clock_past_empty_heap(self):
+        eng = Engine()
+        eng.run_until(123.0)
+        assert eng.now == 123.0
+
+    def test_events_after_horizon_not_run(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(10.0, lambda: seen.append(1))
+        eng.schedule_at(20.0, lambda: seen.append(2))
+        eng.run_until(15.0)
+        assert seen == [1]
+        assert eng.pending_count() == 1
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        eng = Engine()
+        seen = []
+        event = eng.schedule_at(1.0, lambda: seen.append("a"))
+        event.cancel()
+        eng.run()
+        assert seen == []
+        assert event.cancelled
+
+    def test_peek_time_skips_cancelled(self):
+        eng = Engine()
+        first = eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(2.0, lambda: None)
+        first.cancel()
+        assert eng.peek_time() == 2.0
+
+    def test_pending_count_excludes_cancelled(self):
+        eng = Engine()
+        event = eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(2.0, lambda: None)
+        event.cancel()
+        assert eng.pending_count() == 1
+
+
+class TestStep:
+    def test_step_returns_false_on_empty(self):
+        assert Engine().step() is False
+
+    def test_step_processes_one_event(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(1.0, lambda: seen.append(1))
+        eng.schedule_at(2.0, lambda: seen.append(2))
+        assert eng.step() is True
+        assert seen == [1]
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for t in (1.0, 2.0, 3.0):
+            eng.schedule_at(t, lambda: None)
+        eng.run()
+        assert eng.events_processed == 3
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+                min_size=1, max_size=50))
+@settings(max_examples=100)
+def test_events_fire_in_chronological_order(times):
+    eng = Engine()
+    fired = []
+    for t in times:
+        eng.schedule_at(t, lambda t=t: fired.append(t))
+    eng.run()
+    assert fired == sorted(times)
+    assert eng.now == max(times)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e6,
+                                    allow_nan=False),
+                          st.booleans()),
+                min_size=1, max_size=40))
+@settings(max_examples=100)
+def test_cancellation_property(entries):
+    eng = Engine()
+    fired = []
+    expected = []
+    for t, keep in entries:
+        event = eng.schedule_at(t, lambda t=t: fired.append(t))
+        if keep:
+            expected.append(t)
+        else:
+            event.cancel()
+    eng.run()
+    assert sorted(fired) == sorted(expected)

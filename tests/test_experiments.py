@@ -1,0 +1,137 @@
+"""Smoke tests for the per-figure experiment drivers.
+
+These run each driver at a tiny slot budget: the goal is that every
+table/figure pipeline executes end-to-end and returns well-formed
+results (the shape assertions live in benchmarks/).
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig03_traffic,
+    fig04_motivation,
+    fig06_ldpc,
+    fig08_reclaim,
+    fig09_cache,
+    fig10_sched_latency,
+    fig11_tail_latency,
+    fig13_pwcet,
+    fig15_overhead,
+    tables,
+)
+from repro.experiments.common import (
+    format_table,
+    get_predictor,
+    make_policy,
+    run_simulation,
+    scaled_slots,
+)
+from repro.ran.config import pool_20mhz_7cells
+
+
+class TestCommon:
+    def test_scaled_slots_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        assert scaled_slots(1000) == 2000
+        monkeypatch.setenv("REPRO_SCALE", "0.001")
+        assert scaled_slots(1000, minimum=300) == 300
+
+    def test_make_policy_names(self):
+        config = pool_20mhz_7cells()
+        for name in ("concordia-noml", "flexran", "dedicated",
+                     "shenango", "utilization"):
+            policy = make_policy(name, config)
+            assert policy is not None
+        with pytest.raises(ValueError):
+            make_policy("nonexistent", config)
+
+    def test_predictor_cache_reuses(self):
+        config = pool_20mhz_7cells()
+        first = get_predictor(config, seed=77, num_slots=200)
+        second = get_predictor(config, seed=77, num_slots=200)
+        assert first is second
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_run_simulation_policy_kwargs(self):
+        config = pool_20mhz_7cells(num_cores=4)
+        result = run_simulation(config, "shenango", num_slots=200,
+                                policy_kwargs={
+                                    "queue_delay_threshold_us": 42.0})
+        assert result.latency.count > 0
+
+
+class TestDrivers:
+    def test_fig03(self):
+        results = fig03_traffic.run(num_slots=5000)
+        assert 0 < results["single_idle_fraction"] < 1
+        assert "p95" in results["aggregate_cdf_kb"]
+
+    def test_fig04_utilization(self):
+        rows = fig04_motivation.run_utilization(num_slots=300)
+        assert len(rows) == 3
+        assert all(0 < r["utilization"] < 1 for r in rows)
+
+    def test_fig06(self):
+        results = fig06_ldpc.run(samples_per_point=200)
+        assert results["runtimes"][(1, 3)].q50 > 0
+
+    def test_fig08_reclaim(self):
+        results = fig08_reclaim.run_reclaim(num_slots=300,
+                                            loads=(0.1, 0.9))
+        assert set(results["configs"]) == {"20MHz", "100MHz"}
+        for series in results["configs"].values():
+            assert len(series) == 2
+
+    def test_fig09(self):
+        results = fig09_cache.run(num_slots=500)
+        assert set(results) == {"concordia", "flexran"}
+
+    def test_fig10(self):
+        results = fig10_sched_latency.run(num_slots=500)
+        assert results["event_ratio"] > 0
+
+    def test_fig11_subset(self):
+        results = fig11_tail_latency.run(
+            num_slots=300, workloads=("none",), configs=("20MHz",),
+            policies=("flexran",))
+        entry = results[("20MHz", "flexran", "none")]
+        assert entry["count"] > 0
+
+    def test_fig13_wcetless(self):
+        results = fig13_pwcet.run_wcetless(num_slots=400)
+        assert "concordia" in results
+        assert "shenango-5us" in results
+
+    def test_fig15_overhead(self):
+        results = fig15_overhead.run_overhead(num_slots=200,
+                                              cell_counts=(1, 2))
+        assert results[2]["predictor_us"] >= 0
+
+    def test_table5(self):
+        results = tables.run_table5(num_slots=300)
+        assert abs(sum(results["uplink_shares"].values()) - 1.0) < 1e-6
+        assert abs(sum(results["downlink_shares"].values()) - 1.0) < 1e-6
+
+    def test_table4(self):
+        results = tables.run_table4(num_slots=400)
+        for entry in results.values():
+            assert entry["avg_total_us"] >= entry["avg_nonoffloaded_us"]
+
+
+class TestMains:
+    """main() renderers produce non-empty printable reports."""
+
+    def test_fig03_main(self):
+        text = fig03_traffic.main(num_slots=4000)
+        assert "Figure 3" in text
+        assert "idle fraction" in text
+
+    def test_fig06_main(self):
+        text = fig06_ldpc.main(samples_per_point=150)
+        assert "Figure 6a" in text and "Figure 6b" in text

@@ -1,0 +1,53 @@
+"""Tests for the buffered random-variate helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.fastrng import FastRng
+
+
+class TestDistributions:
+    def test_random_in_unit_interval(self):
+        rng = FastRng(np.random.default_rng(0))
+        samples = [rng.random() for _ in range(50_000)]
+        assert all(0.0 <= s < 1.0 for s in samples)
+        assert np.mean(samples) == pytest.approx(0.5, abs=0.01)
+
+    def test_uniform_range(self):
+        rng = FastRng(np.random.default_rng(1))
+        samples = [rng.uniform(5.0, 7.0) for _ in range(20_000)]
+        assert min(samples) >= 5.0
+        assert max(samples) < 7.0
+        assert np.mean(samples) == pytest.approx(6.0, abs=0.02)
+
+    def test_standard_normal_moments(self):
+        rng = FastRng(np.random.default_rng(2))
+        samples = np.array([rng.standard_normal() for _ in range(50_000)])
+        assert samples.mean() == pytest.approx(0.0, abs=0.02)
+        assert samples.std() == pytest.approx(1.0, abs=0.02)
+
+    def test_normal_location_scale(self):
+        rng = FastRng(np.random.default_rng(3))
+        samples = np.array([rng.normal(10.0, 2.0) for _ in range(50_000)])
+        assert samples.mean() == pytest.approx(10.0, abs=0.05)
+        assert samples.std() == pytest.approx(2.0, abs=0.05)
+
+
+class TestBuffering:
+    def test_block_refill_transparent(self):
+        """Values keep flowing across the 16384-sample block boundary."""
+        rng = FastRng(np.random.default_rng(4))
+        samples = [rng.random() for _ in range(40_000)]
+        assert len(set(np.round(samples[:100], 12))) > 90
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_per_seed(self, seed):
+        a = FastRng(np.random.default_rng(seed))
+        b = FastRng(np.random.default_rng(seed))
+        assert [a.random() for _ in range(10)] == \
+            [b.random() for _ in range(10)]
+        assert [a.standard_normal() for _ in range(10)] == \
+            [b.standard_normal() for _ in range(10)]

@@ -1,0 +1,110 @@
+"""Tests for feature selection (distance correlation, backwards elimination)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import (
+    backwards_elimination,
+    distance_correlation,
+    rank_by_distance_correlation,
+    select_features,
+)
+
+
+class TestDistanceCorrelation:
+    def test_perfect_linear_dependence(self):
+        x = np.linspace(0, 1, 200)
+        assert distance_correlation(x, 3 * x + 1) == pytest.approx(1.0, abs=1e-6)
+
+    def test_detects_nonlinear_dependence(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, 400)
+        y = x**2  # Pearson correlation would be ~0 here
+        assert distance_correlation(x, y) > 0.4
+
+    def test_independent_variables_near_zero(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=800)
+        y = rng.normal(size=800)
+        assert distance_correlation(x, y) < 0.15
+
+    def test_constant_input_gives_zero(self):
+        x = np.ones(100)
+        y = np.arange(100.0)
+        assert distance_correlation(x, y) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            distance_correlation(np.ones(3), np.ones(4))
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            distance_correlation(np.ones(1), np.ones(1))
+
+    def test_subsampling_path(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(size=5000)
+        y = 2 * x + rng.normal(0, 0.01, 5000)
+        value = distance_correlation(x, y, max_samples=500,
+                                     rng=np.random.default_rng(0))
+        assert value > 0.95
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_bounded_and_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=120)
+        y = rng.normal(size=120) + 0.3 * x
+        forward = distance_correlation(x, y)
+        backward = distance_correlation(y, x)
+        assert 0.0 <= forward <= 1.0 + 1e-9
+        assert forward == pytest.approx(backward, abs=1e-9)
+
+
+class TestRanking:
+    def test_relevant_features_rank_first(self):
+        rng = np.random.default_rng(3)
+        n = 600
+        X = rng.uniform(size=(n, 5))
+        y = 10 * X[:, 2] + 3 * X[:, 4] + rng.normal(0, 0.05, n)
+        top = rank_by_distance_correlation(X, y, top_n=2)
+        assert set(top) == {2, 4}
+
+
+class TestBackwardsElimination:
+    def test_drops_noise_features(self):
+        rng = np.random.default_rng(4)
+        n = 800
+        X = rng.uniform(size=(n, 4))
+        y = 5 * X[:, 0] + 2 * X[:, 1] + rng.normal(0, 0.05, n)
+        kept = backwards_elimination(X, y, candidates=[0, 1, 2, 3], keep_m=2)
+        assert set(kept) == {0, 1}
+
+    def test_keep_m_validation(self):
+        with pytest.raises(ValueError):
+            backwards_elimination(np.ones((10, 2)), np.ones(10), [0, 1], 0)
+
+    def test_noop_when_already_small(self):
+        X = np.random.default_rng(5).uniform(size=(100, 3))
+        y = X[:, 0]
+        assert backwards_elimination(X, y, [0], keep_m=2) == [0]
+
+
+class TestSelectFeatures:
+    def test_handpicked_always_included(self):
+        rng = np.random.default_rng(6)
+        n = 500
+        X = rng.uniform(size=(n, 6))
+        y = 4 * X[:, 1] + rng.normal(0, 0.05, n)
+        selected = select_features(X, y, handpicked=(5,), top_n=3, keep_m=2)
+        assert 5 in selected
+        assert 1 in selected
+
+    def test_result_sorted_and_unique(self):
+        rng = np.random.default_rng(7)
+        X = rng.uniform(size=(300, 4))
+        y = X[:, 0] + X[:, 1]
+        selected = select_features(X, y, handpicked=(0,), top_n=3, keep_m=3)
+        assert selected == sorted(set(selected))

@@ -1,0 +1,106 @@
+"""Tests for the federated core-allocation rule (Li et al. 2017)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.federated import (
+    CoreDemand,
+    aggregate_demand,
+    federated_core_demand,
+)
+
+
+class TestBasicRule:
+    def test_no_work_needs_no_cores(self):
+        demand = federated_core_demand(0.0, 0.0, 1000.0)
+        assert demand == CoreDemand(0, False)
+
+    def test_sequential_dag_with_ample_slack_needs_one_core(self):
+        demand = federated_core_demand(100.0, 100.0, 1000.0)
+        assert demand.cores == 1
+        assert not demand.critical
+
+    def test_classic_formula(self):
+        # C=1000, L=200, S=400: ceil((1000-200)/(400-200)) = 4 cores.
+        demand = federated_core_demand(1000.0, 200.0, 400.0,
+                                       critical_margin_us=0.0)
+        assert demand.cores == 4
+
+    def test_critical_when_slack_below_path(self):
+        demand = federated_core_demand(500.0, 400.0, 350.0)
+        assert demand.critical
+
+    def test_critical_margin_widens_critical_stage(self):
+        # Slack just above the path but within the margin -> critical.
+        demand = federated_core_demand(500.0, 400.0, 410.0,
+                                       critical_margin_us=20.0)
+        assert demand.critical
+        relaxed = federated_core_demand(500.0, 400.0, 410.0,
+                                        critical_margin_us=5.0)
+        assert not relaxed.critical
+
+    def test_negative_inputs_raise(self):
+        with pytest.raises(ValueError):
+            federated_core_demand(-1.0, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            federated_core_demand(10.0, -1.0, 100.0)
+
+    def test_path_exceeding_work_raises(self):
+        with pytest.raises(ValueError):
+            federated_core_demand(10.0, 20.0, 100.0)
+
+
+class TestAggregate:
+    def test_sum_and_critical_or(self):
+        total = aggregate_demand([CoreDemand(2, False), CoreDemand(3, False)])
+        assert total == CoreDemand(5, False)
+        total = aggregate_demand([CoreDemand(2, False), CoreDemand(0, True)])
+        assert total.critical
+
+    def test_empty(self):
+        assert aggregate_demand([]) == CoreDemand(0, False)
+
+
+@given(
+    work=st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+    path_fraction=st.floats(min_value=0.0, max_value=1.0),
+    slack=st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+)
+@settings(max_examples=300)
+def test_demand_properties(work, path_fraction, slack):
+    """Non-critical demands satisfy the greedy-scheduler bound."""
+    path = work * path_fraction
+    demand = federated_core_demand(work, path, slack, critical_margin_us=0.0)
+    if demand.critical:
+        assert slack <= path
+        return
+    n = demand.cores
+    assert n >= 1
+    # The federated bound: with n cores a greedy schedule finishes within
+    # L + (C - L) / n, which must not exceed the slack.
+    finish_bound = path + (work - path) / n
+    assert finish_bound <= slack + 1e-6 * max(1.0, slack)
+    # Minimality: one fewer core would overrun (except at n == 1).
+    if n > 1:
+        worse = path + (work - path) / (n - 1)
+        assert worse > slack - 1e-9 * max(1.0, slack)
+
+
+@given(
+    work=st.floats(min_value=1.0, max_value=1e5),
+    path=st.floats(min_value=0.0, max_value=1.0),
+    slack_a=st.floats(min_value=1.0, max_value=1e5),
+    slack_b=st.floats(min_value=1.0, max_value=1e5),
+)
+@settings(max_examples=200)
+def test_monotone_in_slack(work, path, slack_a, slack_b):
+    """Less slack never needs fewer cores."""
+    path_us = work * path
+    lo, hi = sorted((slack_a, slack_b))
+    tight = federated_core_demand(work, path_us, lo, critical_margin_us=0.0)
+    loose = federated_core_demand(work, path_us, hi, critical_margin_us=0.0)
+    if tight.critical:
+        return  # critical dominates any finite demand
+    assert not loose.critical
+    assert tight.cores >= loose.cores

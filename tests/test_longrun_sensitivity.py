@@ -1,0 +1,44 @@
+"""Smoke tests for the long-run validation and sensitivity drivers."""
+
+import pytest
+
+from repro.experiments import longrun, sensitivity
+
+
+class TestLongrun:
+    def test_windowed_run(self):
+        results = longrun.run(num_slots=250, num_windows=2)
+        assert len(results["windows"]) == 2
+        assert results["total_slots"] > 0
+        assert results["total_misses"] == sum(
+            w["misses"] for w in results["windows"])
+        assert 0.0 <= results["miss_fraction"] <= 1.0
+        assert results["first_half_misses"] + \
+            results["second_half_misses"] == results["total_misses"]
+
+    def test_main_renders(self):
+        text = longrun.main(num_slots=250)
+        assert "Long-run reliability" in text
+        assert "window 0" in text
+
+
+class TestSensitivity:
+    def test_single_knob_pair(self):
+        pair = sensitivity._run_pair("runtime_noise", 2.0, num_slots=200,
+                                     seed=3)
+        assert set(pair) == {"concordia", "flexran"}
+        for result in pair.values():
+            assert result.latency.count > 0
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity._run_pair("voltage", 1.0, num_slots=50, seed=3)
+
+    def test_scaled_buckets_stay_normalized(self):
+        for factor in (0.0, 0.5, 2.0):
+            buckets = sensitivity._scaled_buckets(factor)
+            total = sum(b.probability for b in buckets)
+            assert total == pytest.approx(1.0, abs=1e-9)
+            # Only the >=400us buckets were scaled.
+            slow = [b for b in buckets if b.low_us >= 400.0]
+            assert all(b.probability >= 0 for b in slow)

@@ -1,0 +1,107 @@
+"""Coverage for smaller branches across the library."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import PwcetEVT
+from repro.core.quantile_tree import QuantileDecisionTree, TreeConfig
+from repro.ran.config import SLOT_DURATION_US, cell_100mhz_tdd
+from repro.ran.traffic import CellTraffic
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.osmodel import WakeupLatencyModel
+
+
+class TestEngineGuards:
+    def test_not_reentrant(self):
+        eng = Engine()
+        errors = []
+
+        def reenter():
+            try:
+                eng.run_until(100.0)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        eng.schedule_at(1.0, reenter)
+        eng.run_until(10.0)
+        assert len(errors) == 1
+
+    def test_event_time_property(self):
+        eng = Engine()
+        event = eng.schedule_at(42.0, lambda: None)
+        assert event.time == 42.0
+        assert not event.cancelled
+
+    def test_run_drains_everything(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(5.0, lambda: seen.append(1))
+        eng.schedule_at(2.0, lambda: eng.schedule_after(10.0,
+                                                        lambda: seen.append(2)))
+        eng.run()
+        assert seen == [1, 2]
+        assert eng.pending_count() == 0
+
+
+class TestTreeConfigKnobs:
+    def test_min_variance_reduction_prunes(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(1000, 2))
+        # Tiny signal: strict reduction threshold should refuse to split.
+        y = 0.01 * X[:, 0] + rng.normal(0, 1.0, 1000)
+        strict = QuantileDecisionTree(
+            TreeConfig(min_variance_reduction=0.5)).fit(X, y)
+        loose = QuantileDecisionTree(
+            TreeConfig(min_variance_reduction=1e-6)).fit(X, y)
+        assert strict.num_leaves <= loose.num_leaves
+
+    def test_threshold_subsampling_still_splits(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(2000, 1))
+        y = np.floor(X[:, 0] * 4)
+        tree = QuantileDecisionTree(
+            TreeConfig(max_thresholds_per_feature=2)).fit(X, y)
+        assert tree.num_leaves >= 2
+
+
+class TestPwcetSmallBlocks:
+    def test_few_samples_fall_back_to_raw(self):
+        """Fewer than two blocks: the fit uses raw samples."""
+        y = np.random.default_rng(2).gamma(2, 5, 30)
+        model = PwcetEVT(block_size=50).fit(np.zeros((30, 1)), y)
+        assert model.predict() > np.median(y)
+
+
+class TestConfigTables:
+    def test_slot_durations_table(self):
+        assert SLOT_DURATION_US[0] == 1000.0
+        assert SLOT_DURATION_US[1] == 500.0
+        assert SLOT_DURATION_US[4] == 62.5
+
+    def test_direction_share_sums_to_one_ish(self):
+        cell = cell_100mhz_tdd()
+        total = cell._direction_share(True) + cell._direction_share(False)
+        assert total == pytest.approx(1.0, abs=0.05)
+
+
+class TestTrafficDeterminism:
+    def test_same_seed_same_trace(self):
+        cell = cell_100mhz_tdd()
+        a = CellTraffic.for_cell(cell, 0.5, seed=9).uplink.trace(500)
+        b = CellTraffic.for_cell(cell, 0.5, seed=9).uplink.trace(500)
+        assert np.array_equal(a, b)
+
+    def test_ul_dl_streams_independent(self):
+        cell = cell_100mhz_tdd()
+        traffic = CellTraffic.for_cell(cell, 0.5, seed=10)
+        ul = traffic.uplink.trace(500)
+        dl = traffic.downlink.trace(500)
+        assert not np.array_equal(ul[:100], dl[:100])
+
+
+class TestOsModelDeterminism:
+    def test_same_seed_same_samples(self):
+        a = WakeupLatencyModel(rng=np.random.default_rng(3))
+        b = WakeupLatencyModel(rng=np.random.default_rng(3))
+        assert [a.sample(True) for _ in range(20)] == \
+            [b.sample(True) for _ in range(20)]

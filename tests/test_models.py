@@ -1,0 +1,147 @@
+"""Tests for the alternative WCET models (§6.3 / §6.4 baselines)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.models import (
+    GradientBoostingWCET,
+    LinearRegressionWCET,
+    PwcetEVT,
+    QuantileTreeWCET,
+    fit_gumbel_moments,
+)
+
+
+def _dataset(n=2000, seed=0, nonlinear=False):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 10, size=(n, 3))
+    if nonlinear:
+        base = 5.0 * X[:, 0] + 20.0 * np.sin(X[:, 1])
+    else:
+        base = 5.0 * X[:, 0] + 2.0 * X[:, 1]
+    y = base + rng.gamma(2.0, 1.0, n)
+    return X, y
+
+
+class TestLinearRegression:
+    def test_predicts_above_mean(self):
+        X, y = _dataset()
+        model = LinearRegressionWCET().fit(X, y)
+        x = X[0]
+        assert model.predict(x) > 5.0 * x[0] + 2.0 * x[1]
+
+    def test_coverage_on_linear_data(self):
+        X, y = _dataset(seed=1)
+        model = LinearRegressionWCET().fit(X, y)
+        predictions = np.array([model.predict(x) for x in X[:500]])
+        assert (predictions >= y[:500]).mean() > 0.98
+
+    def test_online_residuals_raise_prediction(self):
+        X, y = _dataset()
+        model = LinearRegressionWCET(residual_capacity=50).fit(X, y)
+        x = X[0]
+        before = model.predict(x)
+        # A burst of much larger runtimes inflates the z-sigma tail.
+        for __ in range(50):
+            model.observe(x, before + 500.0)
+        assert model.predict(x) > before + 100.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressionWCET().predict(np.zeros(3))
+
+
+class TestGradientBoosting:
+    def test_beats_linear_on_nonlinear_data(self):
+        X, y = _dataset(seed=2, nonlinear=True)
+        linear = LinearRegressionWCET().fit(X, y)
+        boosted = GradientBoostingWCET(n_stages=30).fit(X, y)
+        probe = X[:400]
+        err_lin = np.mean([abs(linear._mean(x) -
+                               (5 * x[0] + 20 * math.sin(x[1])))
+                           for x in probe])
+        err_gb = np.mean([abs(boosted._mean(x) -
+                              (5 * x[0] + 20 * math.sin(x[1])))
+                          for x in probe])
+        assert err_gb < err_lin
+
+    def test_stages_bounded(self):
+        X, y = _dataset(n=500)
+        model = GradientBoostingWCET(n_stages=5).fit(X, y)
+        assert len(model._stages) <= 5
+
+    def test_constant_target(self):
+        X = np.random.default_rng(0).uniform(size=(300, 2))
+        model = GradientBoostingWCET().fit(X, np.full(300, 4.0))
+        assert model.predict(X[0]) == pytest.approx(4.0, abs=1e-6)
+
+
+class TestGumbelFit:
+    def test_moments_roundtrip(self):
+        rng = np.random.default_rng(3)
+        mu_true, beta_true = 100.0, 12.0
+        samples = rng.gumbel(mu_true, beta_true, 50_000)
+        mu, beta = fit_gumbel_moments(samples)
+        assert mu == pytest.approx(mu_true, rel=0.02)
+        assert beta == pytest.approx(beta_true, rel=0.05)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_gumbel_moments(np.array([1.0]))
+
+
+class TestPwcet:
+    def test_single_prediction_regardless_of_input(self):
+        X, y = _dataset()
+        model = PwcetEVT().fit(X, y)
+        assert model.predict(X[0]) == model.predict(X[1])
+
+    def test_prediction_is_pessimistic(self):
+        X, y = _dataset(seed=4)
+        model = PwcetEVT(confidence=0.99999).fit(X, y)
+        # A single 1-10^-5 bound must exceed nearly every sample.
+        assert model.predict() > np.percentile(y, 99.9)
+
+    def test_more_pessimistic_than_parameterized(self):
+        """The Fig. 13 effect: one global bound wastes CPU for small
+        inputs compared to the parameterized quantile tree."""
+        X, y = _dataset(seed=5)
+        pwcet = PwcetEVT().fit(X, y)
+        tree = QuantileTreeWCET().fit(X, y)
+        small_inputs = X[X[:, 0] < 2.0][:100]
+        overshoot_pwcet = np.mean([pwcet.predict(x) for x in small_inputs])
+        overshoot_tree = np.mean([tree.predict(x) for x in small_inputs])
+        assert overshoot_pwcet > overshoot_tree
+
+    def test_online_refit(self):
+        X, y = _dataset(n=1000, seed=6)
+        model = PwcetEVT(refit_every=100, block_size=20).fit(X, y)
+        before = model.predict()
+        # Feed a shifted distribution; the periodic refit should track it.
+        for i in range(400):
+            model.observe(X[i % len(X)], y[i % len(y)] + 500.0)
+        assert model.predict() > before + 100.0
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            PwcetEVT(confidence=1.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PwcetEVT().predict()
+
+
+class TestQuantileTreeAdapter:
+    def test_empty_leaf_falls_back_to_global_max(self):
+        X, y = _dataset(n=600)
+        model = QuantileTreeWCET().fit(X, y)
+        model.tree.reset_online()
+        assert model.predict(X[0]) == y.max()
+
+    def test_observe_routes_to_tree(self):
+        X, y = _dataset(n=600)
+        model = QuantileTreeWCET().fit(X, y)
+        model.observe(X[0], 1e6)
+        assert model.predict(X[0]) == 1e6

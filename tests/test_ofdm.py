@@ -1,0 +1,98 @@
+"""Tests for the OFDM reference kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.channel import AwgnChannel
+from repro.phy.modulation import demodulate_hard, modulate
+from repro.phy.ofdm import OfdmConfig, ofdm_demodulate, ofdm_modulate
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OfdmConfig(fft_size=100)  # not a power of two
+        with pytest.raises(ValueError):
+            OfdmConfig(fft_size=64, num_subcarriers=64)
+        with pytest.raises(ValueError):
+            OfdmConfig(fft_size=64, num_subcarriers=32, cyclic_prefix=64)
+
+    def test_symbol_length(self):
+        config = OfdmConfig(fft_size=256, num_subcarriers=120,
+                            cyclic_prefix=16)
+        assert config.symbol_length == 272
+
+    def test_mapping_avoids_dc(self):
+        config = OfdmConfig(fft_size=64, num_subcarriers=24,
+                            cyclic_prefix=4)
+        mapping = config._mapping()
+        assert 0 not in mapping
+        assert len(set(mapping.tolist())) == 24
+
+
+class TestRoundtrip:
+    def test_noiseless_roundtrip(self):
+        config = OfdmConfig(fft_size=256, num_subcarriers=120,
+                            cyclic_prefix=18)
+        rng = np.random.default_rng(0)
+        symbols = (rng.normal(size=360) + 1j * rng.normal(size=360)) \
+            / np.sqrt(2)
+        time_domain = ofdm_modulate(config, symbols)
+        assert len(time_domain) % config.symbol_length == 0
+        recovered = ofdm_demodulate(config, time_domain)
+        assert np.allclose(recovered[:360], symbols, atol=1e-10)
+
+    def test_zero_padding_to_whole_symbols(self):
+        config = OfdmConfig(fft_size=128, num_subcarriers=48,
+                            cyclic_prefix=8)
+        symbols = np.ones(50, dtype=complex)  # 48 + 2 -> two symbols
+        time_domain = ofdm_modulate(config, symbols)
+        assert len(time_domain) == 2 * config.symbol_length
+        recovered = ofdm_demodulate(config, time_domain)
+        assert np.allclose(recovered[48:50], 1.0)
+        assert np.allclose(recovered[50:], 0.0, atol=1e-12)
+
+    def test_partial_symbol_rejected_on_receive(self):
+        config = OfdmConfig(fft_size=64, num_subcarriers=24,
+                            cyclic_prefix=4)
+        with pytest.raises(ValueError):
+            ofdm_demodulate(config, np.zeros(65, dtype=complex))
+
+    def test_power_preserved(self):
+        """The unitary scaling keeps average power comparable."""
+        config = OfdmConfig(fft_size=256, num_subcarriers=128,
+                            cyclic_prefix=0)
+        rng = np.random.default_rng(1)
+        symbols = (rng.normal(size=1280) + 1j * rng.normal(size=1280))
+        time_domain = ofdm_modulate(config, symbols)
+        power_in = np.mean(np.abs(symbols) ** 2) * len(symbols)
+        power_out = np.mean(np.abs(time_domain) ** 2) * len(time_domain)
+        assert power_out == pytest.approx(power_in, rel=0.05)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, seed, count):
+        config = OfdmConfig(fft_size=128, num_subcarriers=48,
+                            cyclic_prefix=8)
+        rng = np.random.default_rng(seed)
+        symbols = rng.normal(size=count) + 1j * rng.normal(size=count)
+        recovered = ofdm_demodulate(config, ofdm_modulate(config, symbols))
+        assert np.allclose(recovered[:count], symbols, atol=1e-9)
+
+
+class TestEndToEnd:
+    def test_qam_over_ofdm_awgn(self):
+        """Full TX chain slice: QAM -> OFDM -> AWGN -> OFDM -> QAM."""
+        config = OfdmConfig(fft_size=256, num_subcarriers=120,
+                            cyclic_prefix=18)
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 960).astype(np.uint8)
+        qam = modulate(bits, 4)
+        tx = ofdm_modulate(config, qam)
+        rx = AwgnChannel(25.0, rng=np.random.default_rng(3))(tx)
+        recovered = ofdm_demodulate(config, rx)[: len(qam)]
+        decoded = demodulate_hard(recovered, 4)[: len(bits)]
+        assert np.mean(decoded != bits) < 0.01

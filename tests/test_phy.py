@@ -1,0 +1,245 @@
+"""Tests for the reference PHY kernels (Appendix A.1 substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.channel import AwgnChannel, RayleighChannel, ls_channel_estimate
+from repro.phy.crc import crc16, crc24, crc_append, crc_check
+from repro.phy.equalizer import mmse_equalize, zf_equalize, zf_precoder
+from repro.phy.ldpc import LdpcCode, decode_bit_flip, encode
+from repro.phy.modulation import (
+    demodulate_hard,
+    modulate,
+    qam_constellation,
+)
+from repro.phy.validate import (
+    ber_vs_modulation,
+    equalizer_mse,
+    ldpc_iterations_vs_snr,
+)
+
+
+class TestCrc:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        for width in (16, 24):
+            bits = rng.integers(0, 2, 200).astype(np.uint8)
+            framed = crc_append(bits, width)
+            assert len(framed) == 200 + width
+            assert crc_check(framed, width)
+
+    def test_detects_single_bit_errors(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 100).astype(np.uint8)
+        framed = crc_append(bits)
+        for position in range(0, len(framed), 7):
+            corrupted = framed.copy()
+            corrupted[position] ^= 1
+            assert not crc_check(corrupted)
+
+    def test_detects_burst_errors(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        framed = crc_append(bits)
+        corrupted = framed.copy()
+        corrupted[40:60] ^= 1
+        assert not crc_check(corrupted)
+
+    def test_deterministic(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        assert crc24(bits) == crc24(bits)
+        assert crc16(bits) == crc16(bits)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            crc_check(np.zeros(10, dtype=np.uint8), width=24)
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            crc_append(np.zeros(8, dtype=np.uint8), width=12)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, bits):
+        framed = crc_append(np.array(bits, dtype=np.uint8))
+        assert crc_check(framed)
+
+
+class TestLdpc:
+    def test_code_construction(self):
+        code = LdpcCode(n=96, rate=0.5)
+        assert code.k == 48
+        assert code.parity_check_matrix.shape == (48, 96)
+        assert code.rate == pytest.approx(0.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LdpcCode(n=96, rate=0.99)
+        with pytest.raises(ValueError):
+            LdpcCode(n=4)
+
+    def test_encoding_satisfies_parity(self):
+        code = LdpcCode(n=64, rate=0.5, seed=3)
+        rng = np.random.default_rng(4)
+        for __ in range(20):
+            message = rng.integers(0, 2, code.k).astype(np.uint8)
+            codeword = encode(code, message)
+            assert not code.syndrome(codeword).any()
+            assert np.array_equal(codeword[: code.k], message)
+
+    def test_wrong_message_length(self):
+        code = LdpcCode(n=64)
+        with pytest.raises(ValueError):
+            encode(code, np.zeros(5, dtype=np.uint8))
+
+    def test_clean_codeword_decodes_instantly(self):
+        code = LdpcCode(n=96, seed=5)
+        message = np.random.default_rng(6).integers(0, 2, code.k)
+        codeword = encode(code, message.astype(np.uint8))
+        result = decode_bit_flip(code, codeword)
+        assert result.success
+        assert result.iterations == 0
+
+    def test_corrects_few_errors(self):
+        code = LdpcCode(n=96, seed=7)
+        rng = np.random.default_rng(8)
+        corrected = 0
+        for __ in range(30):
+            message = rng.integers(0, 2, code.k).astype(np.uint8)
+            codeword = encode(code, message)
+            noisy = codeword.copy()
+            noisy[rng.integers(code.n)] ^= 1  # single error
+            result = decode_bit_flip(code, noisy)
+            if result.success and np.array_equal(result.bits[: code.k],
+                                                 message):
+                corrected += 1
+        assert corrected >= 25
+
+    def test_iterations_grow_with_errors(self):
+        code = LdpcCode(n=96, seed=9)
+        rng = np.random.default_rng(10)
+        def mean_iterations(num_errors, trials=30):
+            totals = []
+            for __ in range(trials):
+                message = rng.integers(0, 2, code.k).astype(np.uint8)
+                codeword = encode(code, message)
+                noisy = codeword.copy()
+                flip = rng.choice(code.n, num_errors, replace=False)
+                noisy[flip] ^= 1
+                totals.append(decode_bit_flip(code, noisy).iterations)
+            return np.mean(totals)
+
+        assert mean_iterations(6) > mean_iterations(1)
+
+
+class TestModulation:
+    @pytest.mark.parametrize("order", [2, 4, 6, 8])
+    def test_unit_energy(self, order):
+        points = qam_constellation(order)
+        assert len(points) == 2**order
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("order", [2, 4, 6, 8])
+    def test_noiseless_roundtrip(self, order):
+        rng = np.random.default_rng(order)
+        bits = rng.integers(0, 2, 240).astype(np.uint8)
+        assert np.array_equal(
+            demodulate_hard(modulate(bits, order), order)[:240], bits)
+
+    def test_odd_order_rejected(self):
+        with pytest.raises(ValueError):
+            qam_constellation(3)
+
+    def test_gray_mapping_single_bit_neighbors(self):
+        """Adjacent constellation points differ in exactly one bit."""
+        points = qam_constellation(4)
+        # Find the nearest neighbor of each point; Gray mapping means
+        # the labels differ by one bit.
+        for index, point in enumerate(points):
+            distances = np.abs(points - point)
+            distances[index] = np.inf
+            neighbor = int(distances.argmin())
+            assert bin(index ^ neighbor).count("1") == 1
+
+    def test_higher_order_higher_ber(self):
+        results = ber_vs_modulation(snr_db=12.0)
+        assert results[2] <= results[4] <= results[6] <= results[8]
+        assert results[2] < 0.01
+        assert results[8] > results[2]
+
+
+class TestChannel:
+    def test_awgn_snr_matches(self):
+        channel = AwgnChannel(10.0, rng=np.random.default_rng(0))
+        symbols = np.ones(50_000, dtype=np.complex128)
+        received = channel(symbols)
+        noise_power = np.mean(np.abs(received - symbols) ** 2)
+        assert noise_power == pytest.approx(0.1, rel=0.05)
+
+    def test_rayleigh_shape_checks(self):
+        with pytest.raises(ValueError):
+            RayleighChannel(num_rx=1, num_tx=2, snr_db=10.0)
+
+    def test_ls_estimate_recovers_channel(self):
+        rng = np.random.default_rng(1)
+        channel = RayleighChannel(4, 2, snr_db=30.0,
+                                  rng=np.random.default_rng(2))
+        pilots = (rng.choice([-1, 1], (2, 64))
+                  + 1j * rng.choice([-1, 1], (2, 64))) / np.sqrt(2)
+        received = channel.transmit(pilots)
+        estimate = ls_channel_estimate(received, pilots)
+        error = np.linalg.norm(estimate - channel.h) / \
+            np.linalg.norm(channel.h)
+        assert error < 0.1
+
+    def test_ls_estimate_validation(self):
+        with pytest.raises(ValueError):
+            ls_channel_estimate(np.ones((2, 4)), np.ones((2, 5)))
+        with pytest.raises(ValueError):
+            ls_channel_estimate(np.ones((2, 1)), np.ones((2, 1)))
+
+
+class TestEqualizers:
+    def test_zf_inverts_clean_channel(self):
+        rng = np.random.default_rng(3)
+        channel = RayleighChannel(4, 2, snr_db=100.0,
+                                  rng=np.random.default_rng(4))
+        sent = rng.normal(size=(2, 30)) + 1j * rng.normal(size=(2, 30))
+        received = channel.transmit(sent)
+        recovered = zf_equalize(channel.h, received)
+        assert np.allclose(recovered, sent, atol=1e-3)
+
+    def test_mmse_beats_zf_at_low_snr(self):
+        results = equalizer_mse(snr_db=0.0, seed=5)
+        assert results["mmse_mse"] <= results["zf_mse"]
+
+    def test_mmse_converges_to_zf_at_high_snr(self):
+        results = equalizer_mse(snr_db=40.0, seed=6)
+        assert results["mmse_mse"] == pytest.approx(results["zf_mse"],
+                                                    rel=0.05)
+
+    def test_mmse_validation(self):
+        with pytest.raises(ValueError):
+            mmse_equalize(np.eye(2), np.ones((2, 3)), -1.0)
+
+    def test_zf_precoder_cancels_interference(self):
+        channel = RayleighChannel(4, 4, snr_db=100.0,
+                                  rng=np.random.default_rng(7))
+        h_down = channel.h[:2, :]  # 2 users, 4 tx antennas
+        w = zf_precoder(h_down)
+        effective = h_down @ w
+        off_diagonal = effective - np.diag(np.diag(effective))
+        assert np.max(np.abs(off_diagonal)) < 1e-9
+
+
+class TestValidation:
+    def test_ldpc_iterations_rise_as_snr_falls(self):
+        """The §4.1 non-linearity: decode effort vs link margin."""
+        results = ldpc_iterations_vs_snr(snrs_db=(2.0, 5.0, 8.0),
+                                         trials=30)
+        assert results[2.0]["mean_iterations"] > \
+            results[8.0]["mean_iterations"]
+        assert results[8.0]["success_rate"] >= results[2.0]["success_rate"]
+        assert results[8.0]["success_rate"] > 0.9

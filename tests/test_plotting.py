@@ -1,0 +1,67 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plotting import bar_chart, histogram_chart, line_chart
+
+
+class TestBarChart:
+    def test_basic(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10, title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert lines[2].count("#") == 10  # the max bar is full width
+        assert lines[1].count("#") == 5
+
+    def test_zero_values(self):
+        chart = bar_chart(["a", "b"], [0.0, 3.0])
+        assert "| 0" in chart.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    def test_unit_suffix(self):
+        chart = bar_chart(["x"], [5.0], unit="us")
+        assert chart.endswith("5us")
+
+
+class TestLineChart:
+    def test_monotone_series_renders(self):
+        chart = line_chart([0, 1, 2, 3], [0, 1, 2, 3], height=4, width=20)
+        assert chart.count("*") >= 4
+
+    def test_constant_series(self):
+        chart = line_chart([0, 1, 2], [5, 5, 5])
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([1], [1])
+        with pytest.raises(ValueError):
+            line_chart([1, 2], [1])
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=500)
+        chart = histogram_chart(samples, bins=8)
+        totals = [int(line.rsplit(" ", 1)[1])
+                  for line in chart.splitlines()]
+        assert sum(totals) == 500
+
+    def test_log_mode(self):
+        samples = [0.0] * 1000 + [10.0]
+        linear = histogram_chart(samples, bins=2)
+        logged = histogram_chart(samples, bins=2, log_counts=True)
+        # In log mode the rare bucket still gets a visible bar.
+        assert "#" in logged.splitlines()[-1]
+        assert linear != logged
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            histogram_chart([])

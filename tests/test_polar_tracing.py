@@ -1,0 +1,165 @@
+"""Tests for the polar-code kernels and the execution tracer."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.flexran import FlexRanScheduler
+from repro.phy.polar import PolarCode, bsc_llrs, polar_decode_sc, polar_encode
+from repro.ran.config import PoolConfig, cell_20mhz_fdd
+from repro.sim.runner import Simulation
+from repro.sim.tracing import TraceRecorder, render_gantt
+
+
+class TestPolarCode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolarCode(block_length=6, message_length=3)  # not power of 2
+        with pytest.raises(ValueError):
+            PolarCode(block_length=8, message_length=0)
+        with pytest.raises(ValueError):
+            PolarCode(block_length=8, message_length=9)
+
+    def test_information_set_size(self):
+        code = PolarCode(block_length=64, message_length=32)
+        info = code.information_set
+        assert len(info) == 32
+        assert len(set(info.tolist())) == 32
+        assert code.rate == 0.5
+
+    def test_noiseless_roundtrip(self):
+        code = PolarCode(block_length=128, message_length=64)
+        rng = np.random.default_rng(0)
+        for __ in range(20):
+            message = rng.integers(0, 2, 64).astype(np.uint8)
+            codeword = polar_encode(code, message)
+            llrs = bsc_llrs(codeword, 0.01)
+            decoded = polar_decode_sc(code, llrs)
+            assert np.array_equal(decoded, message)
+
+    def test_corrects_noisy_channel(self):
+        """Low-rate polar code over a 5% BSC decodes most blocks."""
+        code = PolarCode(block_length=256, message_length=64,
+                         design_p=0.05)
+        rng = np.random.default_rng(1)
+        successes = 0
+        for __ in range(30):
+            message = rng.integers(0, 2, 64).astype(np.uint8)
+            codeword = polar_encode(code, message)
+            noisy = codeword ^ (rng.random(256) < 0.05).astype(np.uint8)
+            decoded = polar_decode_sc(code, bsc_llrs(noisy, 0.05))
+            successes += np.array_equal(decoded, message)
+        assert successes >= 24
+
+    def test_higher_rate_less_robust(self):
+        rng = np.random.default_rng(2)
+
+        def block_error_rate(k):
+            code = PolarCode(block_length=128, message_length=k,
+                             design_p=0.08)
+            errors = 0
+            for __ in range(40):
+                message = rng.integers(0, 2, k).astype(np.uint8)
+                codeword = polar_encode(code, message)
+                noisy = codeword ^ (rng.random(128) < 0.08).astype(np.uint8)
+                decoded = polar_decode_sc(code, bsc_llrs(noisy, 0.08))
+                errors += not np.array_equal(decoded, message)
+            return errors / 40
+
+        assert block_error_rate(96) >= block_error_rate(32)
+
+    def test_wrong_message_length(self):
+        code = PolarCode(block_length=8, message_length=4)
+        with pytest.raises(ValueError):
+            polar_encode(code, np.zeros(3, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            polar_decode_sc(code, np.zeros(7))
+
+    def test_bsc_llr_validation(self):
+        with pytest.raises(ValueError):
+            bsc_llrs(np.zeros(4, dtype=np.uint8), 0.7)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        code = PolarCode(block_length=64, message_length=24)
+        message = rng.integers(0, 2, 24).astype(np.uint8)
+        codeword = polar_encode(code, message)
+        decoded = polar_decode_sc(code, bsc_llrs(codeword, 0.01))
+        assert np.array_equal(decoded, message)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    config = PoolConfig(cells=(cell_20mhz_fdd(),), num_cores=4,
+                        deadline_us=2000.0)
+    simulation = Simulation(config, FlexRanScheduler(), workload="none",
+                            load_fraction=0.5, seed=2)
+    recorder = TraceRecorder().attach(simulation)
+    simulation.run(200)
+    return recorder
+
+
+class TestTraceRecorder:
+    def test_records_every_task(self, traced_run):
+        assert len(traced_run.tasks) > 200
+        assert traced_run.dropped == 0
+        for trace in traced_run.tasks[:50]:
+            assert trace.finish_us >= trace.start_us >= trace.enqueue_us
+            assert trace.runtime_us > 0
+
+    def test_capacity_drops(self):
+        recorder = TraceRecorder(capacity=1)
+        config = PoolConfig(cells=(cell_20mhz_fdd(),), num_cores=2,
+                            deadline_us=2000.0)
+        simulation = Simulation(config, FlexRanScheduler(),
+                                workload="none", load_fraction=0.5, seed=3)
+        recorder.attach(simulation)
+        simulation.run(20)
+        assert len(recorder.tasks) == 1
+        assert recorder.dropped > 0
+
+    def test_for_dag_filters(self, traced_run):
+        dag_id = traced_run.tasks[0].dag_id
+        subset = traced_run.for_dag(dag_id)
+        assert subset
+        assert all(t.dag_id == dag_id for t in subset)
+
+    def test_slowest_dags_ranked(self, traced_run):
+        slow = traced_run.slowest_dags(top=3)
+        assert len(slow) == 3
+        assert len(set(slow)) == 3
+
+    def test_json_export(self, traced_run, tmp_path):
+        path = tmp_path / "trace.json"
+        traced_run.to_json(path)
+        data = json.loads(path.read_text())
+        assert len(data) == len(traced_run.tasks)
+        assert "task_type" in data[0]
+
+    def test_csv_export(self, traced_run, tmp_path):
+        path = tmp_path / "trace.csv"
+        traced_run.to_csv(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(traced_run.tasks) + 1
+
+    def test_empty_csv_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceRecorder().to_csv(tmp_path / "x.csv")
+
+
+class TestGantt:
+    def test_renders_dag_timeline(self, traced_run):
+        dag_id = traced_run.slowest_dags(top=1)[0]
+        chart = render_gantt(traced_run.for_dag(dag_id), title="slot")
+        assert "slot" in chart
+        assert "#" in chart
+        assert "us total" in chart
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            render_gantt([])

@@ -1,0 +1,93 @@
+"""Property-based stress tests: pool invariants under random driving."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ran.config import PoolConfig, cell_20mhz_fdd
+from repro.sim.engine import Engine
+from repro.sim.pool import VranPool, WorkerState
+
+from .test_pool import ManualPolicy, _FixedCost, _fast_os, make_dag
+
+
+@st.composite
+def _driving_script(draw):
+    """A random interleaving of slot releases and core requests."""
+    steps = draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("release"),
+                      st.integers(min_value=0, max_value=30_000),
+                      st.integers(min_value=0, max_value=2**31 - 1)),
+            st.tuples(st.just("request"),
+                      st.integers(min_value=0, max_value=8),
+                      st.just(0)),
+            st.tuples(st.just("advance"),
+                      st.integers(min_value=10, max_value=2_000),
+                      st.just(0)),
+        ),
+        min_size=3, max_size=25,
+    ))
+    return steps
+
+
+@given(script=_driving_script(),
+       num_cores=st.integers(min_value=1, max_value=6),
+       pin=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_pool_invariants_under_random_driving(script, num_cores, pin):
+    engine = Engine()
+    config = PoolConfig(cells=(cell_20mhz_fdd(),), num_cores=num_cores,
+                        deadline_us=100_000.0)
+    policy = ManualPolicy()
+    policy.pin_tasks_to_wakeups = pin
+    pool = VranPool(
+        engine=engine, config=config, policy=policy,
+        cost_model=_FixedCost(noise_sigma=0.0, isolated_tail_prob=0.0),
+        os_model=_fast_os(),
+    )
+    released = []
+    for action, value, seed in script:
+        if action == "release":
+            dag = make_dag(total_bytes=value, release=engine.now,
+                           deadline=engine.now + 100_000.0, seed=seed)
+            pool.release_slot([dag])
+            released.append(dag)
+        elif action == "request":
+            pool.request_cores(value)
+        else:
+            engine.run_until(engine.now + value)
+        _check_counters(pool)
+    # Give everything a chance to finish (ensure capacity exists).
+    pool.request_cores(num_cores)
+    engine.run_until(engine.now + 2_000_000.0)
+    _check_counters(pool)
+    # Everything released must have completed exactly once.
+    assert all(dag.finished for dag in released)
+    assert pool.metrics.slot_count == len(released)
+    assert pool.ready_count == 0
+    assert pool.pinned_count == 0
+    assert pool.running_count == 0
+    # Per-task sanity: times ordered, runtimes positive.
+    for dag in released:
+        for task in dag.tasks:
+            assert task.finish_time >= task.start_time >= \
+                task.enqueue_time >= dag.release_us
+            assert task.runtime_us > 0
+
+
+def _check_counters(pool):
+    """Incremental counters always match a full worker scan."""
+    scan_reserved = sum(1 for w in pool.workers
+                        if w.state is not WorkerState.YIELDED)
+    scan_running = sum(1 for w in pool.workers
+                       if w.state is WorkerState.RUNNING)
+    scan_waking = sum(1 for w in pool.workers
+                      if w.state is WorkerState.WAKING)
+    scan_pinned = sum(1 for w in pool.workers
+                      if w.pinned_task is not None)
+    assert pool.reserved_count == scan_reserved
+    assert pool.running_count == scan_running
+    assert pool._waking == scan_waking
+    assert pool.pinned_count == scan_pinned
+    assert 0 <= pool.reserved_count <= pool.num_cores

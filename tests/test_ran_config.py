@@ -1,0 +1,99 @@
+"""Tests for cell/pool configurations (Tables 1 and 2)."""
+
+import pytest
+
+from repro.ran.config import (
+    Duplex,
+    PoolConfig,
+    SlotType,
+    cell_100mhz_tdd,
+    cell_20mhz_fdd,
+    pool_100mhz_2cells,
+    pool_20mhz_7cells,
+)
+
+
+class TestCellConfig:
+    def test_table1_100mhz(self):
+        cell = cell_100mhz_tdd()
+        assert cell.duplex is Duplex.TDD
+        assert cell.slot_duration_us == 500.0
+        assert cell.peak_dl_mbps == 1500.0
+        assert cell.peak_ul_mbps == 160.0
+
+    def test_table1_20mhz(self):
+        cell = cell_20mhz_fdd()
+        assert cell.duplex is Duplex.FDD
+        assert cell.slot_duration_us == 1000.0
+        assert cell.peak_dl_mbps == 380.0
+
+    def test_fdd_slots_are_full_duplex(self):
+        cell = cell_20mhz_fdd()
+        assert all(cell.slot_type(i) is SlotType.FULL_DUPLEX
+                   for i in range(10))
+
+    def test_tdd_pattern_dddsu(self):
+        cell = cell_100mhz_tdd()
+        pattern = [cell.slot_type(i) for i in range(5)]
+        assert pattern == [SlotType.DOWNLINK, SlotType.DOWNLINK,
+                           SlotType.DOWNLINK, SlotType.SPECIAL,
+                           SlotType.UPLINK]
+        assert cell.slot_type(5) is SlotType.DOWNLINK  # wraps around
+
+    def test_invalid_numerology(self):
+        with pytest.raises(ValueError):
+            cell_100mhz_tdd().__class__(
+                name="bad", bandwidth_mhz=10, duplex=Duplex.FDD,
+                numerology=9, peak_dl_mbps=10, peak_ul_mbps=10,
+                avg_dl_mbps=5, avg_ul_mbps=5,
+            )
+
+    def test_peak_below_average_rejected(self):
+        with pytest.raises(ValueError):
+            cell_20mhz_fdd().__class__(
+                name="bad", bandwidth_mhz=20, duplex=Duplex.FDD,
+                numerology=0, peak_dl_mbps=10, peak_ul_mbps=10,
+                avg_dl_mbps=50, avg_ul_mbps=5,
+            )
+
+    def test_tdd_per_slot_peak_concentrates_direction(self):
+        """TDD carries a direction's traffic only in its slots, so the
+        per-slot peak exceeds the naive bandwidth-delay product."""
+        cell = cell_100mhz_tdd()
+        naive_ul = cell.peak_ul_mbps * 1e6 / 8 * cell.slot_duration_us / 1e6
+        assert cell.peak_bytes_per_slot(uplink=True) > naive_ul
+
+    def test_fdd_per_slot_peak_matches_rate(self):
+        cell = cell_20mhz_fdd()
+        expected = cell.peak_ul_mbps * 1e6 / 8 * cell.slot_duration_us / 1e6
+        assert cell.peak_bytes_per_slot(uplink=True) == pytest.approx(expected)
+
+
+class TestPoolConfig:
+    def test_table2_pools(self):
+        pool100 = pool_100mhz_2cells()
+        assert len(pool100.cells) == 2
+        assert pool100.num_cores == 12
+        assert pool100.deadline_us == 1500.0
+        pool20 = pool_20mhz_7cells()
+        assert len(pool20.cells) == 7
+        assert pool20.num_cores == 8
+        assert pool20.deadline_us == 2000.0
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            PoolConfig(cells=(), num_cores=4, deadline_us=1000.0)
+
+    def test_mixed_numerology_rejected(self):
+        with pytest.raises(ValueError):
+            PoolConfig(cells=(cell_100mhz_tdd(), cell_20mhz_fdd()),
+                       num_cores=4, deadline_us=1000.0)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            PoolConfig(cells=(cell_20mhz_fdd(),), num_cores=0,
+                       deadline_us=1000.0)
+
+    def test_slot_duration_from_cells(self):
+        assert pool_100mhz_2cells().slot_duration_us == 500.0
+        assert pool_20mhz_7cells().slot_duration_us == 1000.0

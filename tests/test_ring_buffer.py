@@ -1,0 +1,84 @@
+"""Unit and property tests for the leaf-node ring buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ring_buffer import RingBuffer
+
+
+class TestBasics:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_empty_max_raises(self):
+        with pytest.raises(ValueError):
+            RingBuffer(4).max()
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError):
+            RingBuffer(4).quantile(0.5)
+
+    def test_push_and_max(self):
+        buf = RingBuffer(3)
+        buf.push(1.0)
+        buf.push(5.0)
+        buf.push(2.0)
+        assert buf.max() == 5.0
+        assert len(buf) == 3
+        assert buf.full
+
+    def test_eviction_order_is_fifo(self):
+        buf = RingBuffer(3)
+        buf.extend([1.0, 2.0, 3.0, 4.0])
+        assert list(buf.values()) == [2.0, 3.0, 4.0]
+
+    def test_max_recomputed_after_evicting_maximum(self):
+        buf = RingBuffer(3)
+        buf.extend([9.0, 1.0, 2.0])
+        buf.push(3.0)  # evicts 9.0
+        assert buf.max() == 3.0
+
+    def test_duplicate_maximum_eviction(self):
+        buf = RingBuffer(3)
+        buf.extend([5.0, 5.0, 1.0])
+        buf.push(2.0)  # evicts the first 5.0; a second 5.0 remains
+        assert buf.max() == 5.0
+
+    def test_quantile_interpolates(self):
+        buf = RingBuffer(10)
+        buf.extend(range(1, 11))
+        assert buf.quantile(0.0) == 1.0
+        assert buf.quantile(1.0) == 10.0
+        assert 5.0 <= buf.quantile(0.5) <= 6.0
+
+    def test_clear(self):
+        buf = RingBuffer(3)
+        buf.extend([1.0, 2.0])
+        buf.clear()
+        assert len(buf) == 0
+        with pytest.raises(ValueError):
+            buf.max()
+
+    def test_replace_keeps_trailing_window(self):
+        buf = RingBuffer(3)
+        buf.replace([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert list(buf.values()) == [3.0, 4.0, 5.0]
+        assert buf.max() == 5.0
+
+
+@given(st.lists(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+                min_size=1, max_size=200),
+       st.integers(min_value=1, max_value=20))
+@settings(max_examples=150)
+def test_matches_naive_sliding_window(values, capacity):
+    """The buffer must always equal the trailing window of pushes."""
+    buf = RingBuffer(capacity)
+    for i, value in enumerate(values):
+        buf.push(value)
+        window = values[max(0, i + 1 - capacity): i + 1]
+        assert len(buf) == len(window)
+        assert buf.max() == max(window)
+        assert np.allclose(buf.values(), window)

@@ -1,0 +1,233 @@
+"""Unit tests for the Concordia scheduler and baseline policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.flexran import DedicatedScheduler, FlexRanScheduler
+from repro.baselines.shenango import ShenangoScheduler
+from repro.baselines.utilization import UtilizationScheduler
+from repro.core.scheduler import ConcordiaScheduler
+
+from .test_pool import _FixedCost, _fast_os, make_dag
+from repro.ran.config import PoolConfig, cell_20mhz_fdd
+from repro.sim.engine import Engine
+from repro.sim.pool import VranPool
+
+
+def make_pool_with(policy, num_cores=4, os_model=None):
+    engine = Engine()
+    config = PoolConfig(cells=(cell_20mhz_fdd(),), num_cores=num_cores,
+                        deadline_us=2000.0)
+    pool = VranPool(
+        engine=engine,
+        config=config,
+        policy=policy,
+        cost_model=_FixedCost(noise_sigma=0.0, isolated_tail_prob=0.0),
+        os_model=os_model or _fast_os(),
+    )
+    return engine, pool
+
+
+class TestConcordiaScheduler:
+    def test_predicts_every_task_at_slot_start(self):
+        policy = ConcordiaScheduler(predictor=None)
+        engine, pool = make_pool_with(policy)
+        dag = make_dag(total_bytes=10_000)
+        pool.release_slot([dag])
+        assert all(t.predicted_wcet_us is not None for t in dag.tasks)
+
+    def test_fallback_prediction_is_inflated_base(self):
+        policy = ConcordiaScheduler(predictor=None, wcet_fallback_margin=1.5)
+        engine, pool = make_pool_with(policy)
+        dag = make_dag(total_bytes=5_000)
+        pool.release_slot([dag])
+        task = dag.tasks[0]
+        assert task.predicted_wcet_us == pytest.approx(
+            task.base_cost_us * 1.5)
+
+    def test_path_us_computed_topologically(self):
+        policy = ConcordiaScheduler(predictor=None)
+        engine, pool = make_pool_with(policy)
+        dag = make_dag(total_bytes=10_000)
+        pool.release_slot([dag])
+        for task in dag.tasks:
+            tail = max((s.path_us for s in task.successors), default=0.0)
+            assert task.path_us == pytest.approx(
+                task.predicted_wcet_us + tail)
+
+    def test_releases_cores_when_idle(self):
+        policy = ConcordiaScheduler(predictor=None, release_hold_us=50.0)
+        engine, pool = make_pool_with(policy)
+        engine.run_until(5_000.0)  # many idle ticks
+        assert pool.reserved_count == 0
+
+    def test_min_standby_respected(self):
+        policy = ConcordiaScheduler(predictor=None, min_standby_cores=2,
+                                    release_hold_us=50.0)
+        engine, pool = make_pool_with(policy)
+        engine.run_until(5_000.0)
+        assert pool.reserved_count == 2
+
+    def test_critical_stage_grabs_all_cores(self):
+        policy = ConcordiaScheduler(predictor=None, release_hold_us=50.0)
+        engine, pool = make_pool_with(policy, num_cores=4)
+        engine.run_until(1_000.0)
+        assert pool.reserved_count == 0
+        # A DAG whose slack is below its critical path -> critical stage.
+        dag = make_dag(total_bytes=30_000, release=1_000.0,
+                       deadline=1_200.0)
+        pool.release_slot([dag])
+        assert pool.target_cores == 4
+
+    def test_completion_releases_after_hold(self):
+        policy = ConcordiaScheduler(predictor=None, release_hold_us=100.0)
+        engine, pool = make_pool_with(policy)
+        dag = make_dag(total_bytes=5_000)
+        pool.release_slot([dag])
+        engine.run_until(50_000.0)
+        assert dag.finished
+        assert pool.reserved_count == 0
+
+    def test_hold_window_delays_release(self):
+        policy = ConcordiaScheduler(predictor=None, release_hold_us=400.0)
+        engine, pool = make_pool_with(policy)
+        dag = make_dag(total_bytes=5_000)
+        pool.release_slot([dag])
+        engine.run_until(50_000.0)
+        completion = dag.completion_us
+        # Cores must have been held for roughly the hold window after
+        # the last demand, visible in the reserved-time integral.
+        last_yield_metrics = pool.metrics
+        assert last_yield_metrics.reserved_core_time_us > 0
+        # After the hold window expires everything is released.
+        assert pool.reserved_count == 0
+
+    def test_overhead_counters_advance(self):
+        policy = ConcordiaScheduler(predictor=None)
+        engine, pool = make_pool_with(policy)
+        pool.release_slot([make_dag(total_bytes=5_000)])
+        engine.run_until(3_000.0)
+        assert policy.prediction_calls == 1
+        assert policy.scheduling_calls > 10
+        assert policy.mean_scheduling_us >= 0.0
+        assert policy.mean_prediction_us >= 0.0
+
+    def test_wakeup_compensation(self):
+        """A stuck waking core triggers an extra reservation."""
+        from repro.sim.osmodel import LatencyBucket, WakeupLatencyModel
+        slow = WakeupLatencyModel(
+            rng=np.random.default_rng(0),
+            isolated_buckets=(LatencyBucket(1.0, 5_000.0, 5_000.1),),
+            collocated_buckets=(LatencyBucket(1.0, 5_000.0, 5_000.1),),
+        )
+        policy = ConcordiaScheduler(predictor=None, wakeup_overdue_us=25.0,
+                                    release_hold_us=50.0)
+        engine, pool = make_pool_with(policy, num_cores=4, os_model=slow)
+        engine.run_until(1_000.0)
+        assert pool.reserved_count == 0
+        dag = make_dag(total_bytes=400, release=1_000.0, deadline=9_000.0)
+        pool.release_slot([dag])
+        engine.run_until(1_200.0)
+        # The first wake is stuck for 5 ms; ticks must have signalled
+        # at least one additional core in compensation.
+        assert pool.reserved_count >= 2
+
+
+class TestFlexRan:
+    def test_tracks_queue_length(self):
+        policy = FlexRanScheduler()
+        engine, pool = make_pool_with(policy)
+        dag = make_dag(total_bytes=1_000)
+        pool.release_slot([dag])
+        engine.run_until(50_000.0)
+        assert dag.finished
+        # Once drained, all cores are relinquished.
+        assert pool.reserved_count == 0
+
+    def test_idle_pool_holds_no_cores(self):
+        policy = FlexRanScheduler()
+        engine, pool = make_pool_with(policy)
+        dag = make_dag(total_bytes=2_000)
+        pool.release_slot([dag])
+        engine.run_until(50_000.0)
+        before = pool.metrics.yield_events
+        engine.run_until(100_000.0)
+        assert pool.metrics.yield_events == before  # no churn while idle
+
+    def test_generates_more_events_than_concordia(self):
+        """Fig. 10's headline: FlexRAN has far more scheduling events."""
+        def run(policy):
+            engine, pool = make_pool_with(policy, num_cores=4)
+            for i in range(30):
+                release = 1000.0 * i
+                engine.run_until(release)
+                pool.release_slot([make_dag(total_bytes=15_000,
+                                            release=release,
+                                            deadline=release + 2000.0,
+                                            seed=i)])
+            engine.run_until(40_000.0)
+            return pool.metrics.scheduling_events
+
+        flexran_events = run(FlexRanScheduler())
+        concordia_events = run(ConcordiaScheduler(predictor=None))
+        assert flexran_events > 1.5 * concordia_events
+
+
+class TestDedicated:
+    def test_never_releases(self):
+        policy = DedicatedScheduler()
+        engine, pool = make_pool_with(policy)
+        dag = make_dag(total_bytes=2_000)
+        pool.release_slot([dag])
+        engine.run_until(50_000.0)
+        assert pool.reserved_count == pool.num_cores
+        assert pool.metrics.reclaimed_fraction == pytest.approx(0.0, abs=1e-9)
+
+
+class TestShenango:
+    def test_adds_core_on_queue_delay(self):
+        policy = ShenangoScheduler(queue_delay_threshold_us=10.0,
+                                   check_interval_us=5.0)
+        engine, pool = make_pool_with(policy, num_cores=4)
+        pool.request_cores(0)
+        dag = make_dag(total_bytes=20_000)
+        pool.release_slot([dag])
+        engine.run_until(200.0)
+        assert pool.reserved_count >= 1
+
+    def test_releases_on_drain(self):
+        policy = ShenangoScheduler(queue_delay_threshold_us=5.0)
+        engine, pool = make_pool_with(policy)
+        pool.release_slot([make_dag(total_bytes=5_000)])
+        engine.run_until(50_000.0)
+        assert pool.reserved_count == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ShenangoScheduler(queue_delay_threshold_us=-1.0)
+
+
+class TestUtilization:
+    def test_scales_up_when_busy(self):
+        policy = UtilizationScheduler(threshold=0.3, window_slots=1,
+                                      slot_duration_us=500.0)
+        engine, pool = make_pool_with(policy, num_cores=4)
+        start = pool.reserved_count
+        for i in range(10):
+            release = 500.0 * i
+            engine.run_until(release)
+            pool.release_slot([make_dag(total_bytes=30_000, release=release,
+                                        deadline=release + 4000.0, seed=i)])
+        engine.run_until(5_000.0)
+        assert pool.reserved_count > start or pool.target_cores == 4
+
+    def test_scales_down_when_idle(self):
+        policy = UtilizationScheduler(threshold=0.5, window_slots=2,
+                                      slot_duration_us=500.0)
+        engine, pool = make_pool_with(policy, num_cores=4)
+        engine.run_until(20_000.0)
+        assert pool.reserved_count == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            UtilizationScheduler(threshold=0.0)

@@ -1,0 +1,104 @@
+"""Focused unit tests for Concordia scheduler internals."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import ConcordiaScheduler, _DagState
+
+from .test_pool import _FixedCost, _fast_os, make_dag
+from .test_scheduler import make_pool_with
+
+
+class TestHeldDemand:
+    def _scheduler(self, hold):
+        policy = ConcordiaScheduler(predictor=None, release_hold_us=hold)
+        make_pool_with(policy)  # attaches a pool (and starts ticks)
+        return policy
+
+    def test_raising_demand_is_immediate(self):
+        policy = self._scheduler(hold=300.0)
+        assert policy._held_demand(0.0, 2) == 2
+        assert policy._held_demand(10.0, 5) == 5
+
+    def test_lowering_waits_for_window(self):
+        policy = self._scheduler(hold=300.0)
+        assert policy._held_demand(0.0, 6) == 6
+        # Demand drops, but the recent peak dominates the window.
+        assert policy._held_demand(100.0, 1) == 6
+        assert policy._held_demand(250.0, 1) == 6
+        # After the peak ages out, the lower demand takes effect.
+        assert policy._held_demand(400.0, 1) == 1
+
+    def test_zero_hold_is_instantaneous(self):
+        policy = self._scheduler(hold=0.0)
+        assert policy._held_demand(0.0, 6) == 6
+        assert policy._held_demand(0.1, 1) == 1
+
+    def test_window_prunes_old_entries(self):
+        policy = self._scheduler(hold=100.0)
+        for t in range(0, 2000, 20):
+            policy._held_demand(float(t), 3)
+        assert len(policy._demand_window) <= 7
+
+
+class TestDagState:
+    def test_ratchets_start_at_zero(self):
+        dag = make_dag(total_bytes=5000)
+        state = _DagState(dag)
+        assert state.cores_ratchet == 0
+        assert state.util_ratchet == 0.0
+        assert state.frontier == {}
+
+    def test_slot_start_populates_state(self):
+        policy = ConcordiaScheduler(predictor=None)
+        engine, pool = make_pool_with(policy)
+        dag = make_dag(total_bytes=10_000)
+        pool.release_slot([dag])
+        state = policy._states[dag.dag_id]
+        assert state.work_us == pytest.approx(
+            sum(t.predicted_wcet_us for t in dag.tasks))
+        # The initial critical path equals the entry task's longest
+        # path to a sink.
+        entry = [t for t in dag.tasks if t.predecessors_remaining == 0
+                 or t.start_time is not None]
+        assert state.critical_path_us <= max(t.path_us for t in dag.tasks)
+        assert state.critical_path_us > 0
+
+    def test_state_removed_on_completion(self):
+        policy = ConcordiaScheduler(predictor=None)
+        engine, pool = make_pool_with(policy)
+        dag = make_dag(total_bytes=3000)
+        pool.release_slot([dag])
+        assert dag.dag_id in policy._states
+        engine.run_until(50_000.0)
+        assert dag.finished
+        assert dag.dag_id not in policy._states
+
+    def test_work_decreases_as_tasks_finish(self):
+        policy = ConcordiaScheduler(predictor=None)
+        engine, pool = make_pool_with(policy)
+        dag = make_dag(total_bytes=20_000)
+        pool.release_slot([dag])
+        state = policy._states[dag.dag_id]
+        initial_work = state.work_us
+        # Run partway through the DAG.
+        engine.run_until(engine.now + 100.0)
+        if dag.dag_id in policy._states:
+            assert policy._states[dag.dag_id].work_us <= initial_work
+
+
+class TestOverheadAccounting:
+    def test_prediction_and_scheduling_timers_disjoint(self):
+        policy = ConcordiaScheduler(predictor=None)
+        engine, pool = make_pool_with(policy)
+        for i in range(5):
+            release = 1000.0 * i
+            engine.run_until(release)
+            pool.release_slot([make_dag(total_bytes=5000, release=release,
+                                        deadline=release + 4000.0,
+                                        seed=i)])
+        engine.run_until(10_000.0)
+        assert policy.prediction_calls == 5
+        assert policy.scheduling_calls >= 5
+        assert policy.prediction_wall_s >= 0.0
+        assert policy.scheduling_wall_s >= 0.0

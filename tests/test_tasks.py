@@ -1,0 +1,158 @@
+"""Tests for the task cost model (Fig. 6, Table 5 calibration anchors)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ran.tasks import (
+    CostModel,
+    TaskInstance,
+    TaskType,
+    prbs_for_bandwidth,
+)
+
+
+@pytest.fixture
+def model():
+    return CostModel(rng=np.random.default_rng(0))
+
+
+def _decode_cost(model, cbs, snr_margin=10.0, code_rate=0.8):
+    return model.base_cost_us(
+        TaskType.LDPC_DECODE, prbs=273, antennas=4, total_layers=4,
+        slot_bytes=10_000, slot_codeblocks=cbs, task_codeblocks=cbs,
+        snr_margin_db=snr_margin, code_rate=code_rate,
+    )
+
+
+class TestPrbs:
+    def test_standard_values(self):
+        assert prbs_for_bandwidth(20, 0) == 107  # ~106 in 38.101
+        assert prbs_for_bandwidth(100, 1) == 269  # ~273 in 38.101
+
+    def test_scales_with_bandwidth(self):
+        assert prbs_for_bandwidth(40, 1) > prbs_for_bandwidth(20, 1)
+
+
+class TestDecodeCalibration:
+    """Fig. 6a anchors: 3 CBs ≈ 100 µs, 15 CBs ≈ 450-500 µs (one core)."""
+
+    def test_runtime_linear_in_codeblocks(self, model):
+        c3 = _decode_cost(model, 3)
+        c15 = _decode_cost(model, 15)
+        assert c15 / c3 == pytest.approx(5.0, rel=0.15)
+
+    def test_absolute_range_matches_fig6a(self, model):
+        # Average-ish link margin gives the Fig. 6a magnitudes.
+        assert 60 <= _decode_cost(model, 3, snr_margin=3.0) <= 140
+        assert 300 <= _decode_cost(model, 15, snr_margin=3.0) <= 550
+
+    def test_low_snr_margin_costs_more(self, model):
+        assert _decode_cost(model, 8, snr_margin=0.0) > \
+            _decode_cost(model, 8, snr_margin=8.0)
+
+    def test_snr_effect_saturates(self, model):
+        assert _decode_cost(model, 8, snr_margin=8.0) == \
+            _decode_cost(model, 8, snr_margin=20.0)
+
+    def test_low_code_rate_costs_more(self, model):
+        assert _decode_cost(model, 8, code_rate=0.2) > \
+            _decode_cost(model, 8, code_rate=0.9)
+
+
+class TestCorePenalty:
+    def test_single_core_no_penalty(self, model):
+        assert model.core_penalty(TaskType.LDPC_DECODE, 1) == 0.0
+
+    def test_penalty_caps_at_25_percent(self, model):
+        assert model.core_penalty(TaskType.LDPC_DECODE, 6) == \
+            pytest.approx(0.25)
+        assert model.core_penalty(TaskType.LDPC_DECODE, 48) == \
+            pytest.approx(0.25)
+
+    def test_penalty_monotone_in_cores(self, model):
+        penalties = [model.core_penalty(TaskType.LDPC_DECODE, n)
+                     for n in range(1, 8)]
+        assert all(b >= a for a, b in zip(penalties, penalties[1:]))
+
+    def test_compute_bound_tasks_unaffected(self, model):
+        assert model.core_penalty(TaskType.FFT, 6) == 0.0
+        assert model.core_penalty(TaskType.MODULATION, 6) == 0.0
+
+    def test_memory_stalls_grow_with_spread(self, model):
+        single = model.memory_stalls_per_cycle(8, 1)
+        spread = model.memory_stalls_per_cycle(8, 6)
+        assert spread > 2 * single
+
+
+class TestSampling:
+    def _task(self, model, cbs=8):
+        base = _decode_cost(model, cbs)
+        return TaskInstance(
+            task_id=0, task_type=TaskType.LDPC_DECODE, cell_name="c",
+            features=np.zeros(16), base_cost_us=base,
+        )
+
+    def test_runtime_near_base_in_isolation(self, model):
+        task = self._task(model)
+        samples = [model.sample_runtime(task) for _ in range(2000)]
+        assert np.median(samples) == pytest.approx(task.base_cost_us,
+                                                   rel=0.05)
+
+    def test_interference_multiplier_applies(self, model):
+        task = self._task(model)
+        inflated = [model.sample_runtime(task, interference_multiplier=1.5)
+                    for _ in range(500)]
+        assert np.median(inflated) == pytest.approx(1.5 * task.base_cost_us,
+                                                    rel=0.1)
+
+    def test_tail_multiplier_applies(self, model):
+        task = self._task(model)
+        sample = model.sample_runtime(task, tail_multiplier=3.0)
+        assert sample > 2.0 * task.base_cost_us
+
+    def test_multicore_samples_slower(self, model):
+        task = self._task(model)
+        single = np.median([model.sample_runtime(task, active_cores=1)
+                            for _ in range(500)])
+        six = np.median([model.sample_runtime(task, active_cores=6)
+                         for _ in range(500)])
+        assert six == pytest.approx(1.25 * single, rel=0.08)
+
+    def test_runtime_strictly_positive(self, model):
+        task = self._task(model, cbs=0)
+        task.base_cost_us = 0.0
+        assert model.sample_runtime(task) > 0.0
+
+
+class TestTaskInstance:
+    def test_deadline_requires_dag(self, model):
+        task = TaskInstance(task_id=0, task_type=TaskType.FFT,
+                            cell_name="c", features=np.zeros(16),
+                            base_cost_us=1.0)
+        with pytest.raises(ValueError):
+            __ = task.deadline_us
+
+    def test_feature_lookup_by_name(self):
+        features = np.arange(16, dtype=float)
+        task = TaskInstance(task_id=0, task_type=TaskType.FFT,
+                            cell_name="c", features=features,
+                            base_cost_us=1.0)
+        assert task.feature("num_ues") == 0.0
+        assert task.feature("task_codeblocks") == 10.0
+
+
+@given(st.sampled_from(list(TaskType)),
+       st.integers(min_value=0, max_value=60),
+       st.floats(min_value=0, max_value=200_000, allow_nan=False))
+@settings(max_examples=200)
+def test_base_cost_always_positive(task_type, cbs, slot_bytes):
+    model = CostModel()
+    cost = model.base_cost_us(
+        task_type, prbs=106, antennas=2, total_layers=2,
+        slot_bytes=slot_bytes, slot_codeblocks=cbs, task_codeblocks=cbs,
+        task_bytes=slot_bytes, snr_margin_db=5.0, code_rate=0.6,
+    )
+    assert cost > 0.0
+    assert np.isfinite(cost)

@@ -1,0 +1,127 @@
+"""Tests for UE modelling: MCS table, link adaptation, allocations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ran.ue import (
+    CODEBLOCK_BITS,
+    MCS_TABLE,
+    SlotLoad,
+    UeAllocation,
+    bytes_to_allocations,
+    mcs_for_snr,
+)
+
+
+class TestMcsTable:
+    def test_has_28_entries(self):
+        assert len(MCS_TABLE) == 28
+
+    def test_indices_sequential(self):
+        assert [e.index for e in MCS_TABLE] == list(range(28))
+
+    def test_spectral_efficiency_increases(self):
+        eff = [e.spectral_efficiency for e in MCS_TABLE]
+        assert all(b > a for a, b in zip(eff, eff[1:]))
+
+    def test_snr_thresholds_increase(self):
+        snr = [e.min_snr_db for e in MCS_TABLE]
+        assert all(b >= a for a, b in zip(snr, snr[1:]))
+
+    def test_modulation_families(self):
+        orders = {e.modulation_order for e in MCS_TABLE}
+        assert orders == {2, 4, 6, 8}
+
+
+class TestLinkAdaptation:
+    def test_low_snr_gets_qpsk(self):
+        assert mcs_for_snr(-10.0).modulation_order == 2
+
+    def test_high_snr_gets_256qam(self):
+        assert mcs_for_snr(30.0).modulation_order == 8
+
+    @given(st.floats(min_value=-20, max_value=40, allow_nan=False))
+    @settings(max_examples=100)
+    def test_selected_mcs_threshold_satisfied(self, snr):
+        entry = mcs_for_snr(snr)
+        assert entry.min_snr_db <= snr or entry.index == 0
+
+
+class TestUeAllocation:
+    def _alloc(self, tbs):
+        return UeAllocation(ue_id=0, tbs_bytes=tbs, mcs=MCS_TABLE[10],
+                            layers=2, snr_db=12.0)
+
+    def test_codeblock_segmentation(self):
+        assert self._alloc(0).num_codeblocks == 0
+        assert self._alloc(1).num_codeblocks == 1
+        assert self._alloc(CODEBLOCK_BITS // 8).num_codeblocks == 1
+        assert self._alloc(CODEBLOCK_BITS // 8 + 1).num_codeblocks == 2
+
+    def test_negative_tbs_rejected(self):
+        with pytest.raises(ValueError):
+            self._alloc(-1)
+
+    def test_zero_layers_rejected(self):
+        with pytest.raises(ValueError):
+            UeAllocation(ue_id=0, tbs_bytes=10, mcs=MCS_TABLE[0],
+                         layers=0, snr_db=0.0)
+
+
+class TestBytesToAllocations:
+    def test_zero_bytes_empty(self):
+        assert bytes_to_allocations(0, np.random.default_rng(0)) == ()
+
+    def test_conserves_bytes(self):
+        rng = np.random.default_rng(1)
+        for total in (100, 5000, 50_000):
+            allocations = bytes_to_allocations(total, rng)
+            assert sum(a.tbs_bytes for a in allocations) == total
+
+    def test_respects_max_ues(self):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            allocations = bytes_to_allocations(100_000, rng, max_ues=4)
+            assert 1 <= len(allocations) <= 4
+
+    def test_respects_max_layers(self):
+        rng = np.random.default_rng(3)
+        allocations = bytes_to_allocations(50_000, rng, max_layers=2)
+        assert all(1 <= a.layers <= 2 for a in allocations)
+
+    def test_busier_slots_have_more_ues_on_average(self):
+        rng = np.random.default_rng(4)
+        small = np.mean([len(bytes_to_allocations(500, rng))
+                         for _ in range(200)])
+        large = np.mean([len(bytes_to_allocations(40_000, rng))
+                         for _ in range(200)])
+        assert large > small
+
+    @given(st.integers(min_value=1, max_value=200_000),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_allocation_invariants(self, total, seed):
+        rng = np.random.default_rng(seed)
+        allocations = bytes_to_allocations(total, rng, max_ues=16)
+        assert sum(a.tbs_bytes for a in allocations) == total
+        assert all(a.tbs_bytes > 0 for a in allocations)
+        assert len({a.ue_id for a in allocations}) == len(allocations)
+
+
+class TestSlotLoad:
+    def test_aggregates(self):
+        rng = np.random.default_rng(5)
+        allocations = bytes_to_allocations(20_000, rng)
+        load = SlotLoad("cell", 3, True, allocations)
+        assert load.total_bytes == 20_000
+        assert load.num_ues == len(allocations)
+        assert load.total_codeblocks == sum(a.num_codeblocks
+                                            for a in allocations)
+        assert not load.idle
+
+    def test_idle_slot(self):
+        load = SlotLoad("cell", 0, False, ())
+        assert load.idle
+        assert load.total_layers == 0

@@ -1,0 +1,135 @@
+"""Tests for the best-effort workload models (§6 scenarios)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cache import CacheInterferenceModel
+from repro.sim.engine import Engine
+from repro.workloads.base import Workload, WorkloadHost, WorkloadSpec
+from repro.workloads.catalog import (
+    MLPERF,
+    NGINX,
+    REDIS_GET,
+    TPCC,
+    WORKLOAD_SPECS,
+    MixController,
+    make_host,
+    make_workload,
+)
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", "ops/s", 100.0, cache_pressure=1.5,
+                         base_sharing_efficiency=0.8)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", "ops/s", 100.0, cache_pressure=0.5,
+                         base_sharing_efficiency=0.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", "ops/s", 0.0, cache_pressure=0.5,
+                         base_sharing_efficiency=0.8)
+
+    def test_ideal_ops(self):
+        spec = WorkloadSpec("x", "ops/s", 1000.0, 0.2, 0.8)
+        assert spec.ideal_ops(cores=4, duration_us=2e6) == 8000.0
+
+    def test_catalog_efficiencies_match_paper(self):
+        """§6.1 reported yields at low cell load."""
+        assert REDIS_GET.base_sharing_efficiency == pytest.approx(0.766)
+        assert NGINX.base_sharing_efficiency == pytest.approx(0.822)
+        assert TPCC.base_sharing_efficiency == pytest.approx(0.72)
+        assert MLPERF.base_sharing_efficiency == pytest.approx(0.78)
+
+
+class TestWorkload:
+    def test_achieved_ops_scale_with_core_time(self):
+        workload = Workload(REDIS_GET)
+        workload.core_time_us = 1e6  # one core-second
+        ops = workload.achieved_ops()
+        assert ops == pytest.approx(
+            REDIS_GET.ops_per_core_second * REDIS_GET.base_sharing_efficiency)
+
+    def test_preemption_penalty_saturates(self):
+        workload = Workload(REDIS_GET)
+        workload.core_time_us = 1e6
+        base = workload.achieved_ops(0.0)
+        heavy = workload.achieved_ops(100.0)
+        assert heavy == pytest.approx(base * 0.7)
+
+
+class TestWorkloadHost:
+    def test_accrues_available_core_time(self):
+        host = WorkloadHost(make_workload("nginx"))
+        host.on_available_change(0.0, 4)
+        host.on_available_change(1000.0, 2)  # 4 cores for 1 ms
+        host.finalize(2000.0)  # then 2 cores for 1 ms
+        assert host.total_best_effort_core_us == pytest.approx(6000.0)
+
+    def test_split_among_active_workloads(self):
+        host = make_host("redis")  # GET + SET instances
+        host.on_available_change(0.0, 2)
+        host.finalize(1000.0)
+        get, set_ = host.workloads
+        assert get.core_time_us == pytest.approx(1000.0)
+        assert set_.core_time_us == pytest.approx(1000.0)
+
+    def test_inactive_workload_accrues_nothing(self):
+        host = make_host("redis")
+        host.set_active("redis-set", False, 0.0)
+        host.on_available_change(0.0, 2)
+        host.finalize(1000.0)
+        get, set_ = host.workloads
+        assert get.core_time_us == pytest.approx(2000.0)
+        assert set_.core_time_us == 0.0
+
+    def test_pressure_synced_to_cache_model(self):
+        cache = CacheInterferenceModel()
+        host = make_host("redis", cache_model=cache)
+        assert cache.pressure == pytest.approx(
+            REDIS_GET.cache_pressure * 2)
+        host.set_active("redis-get", False, 0.0)
+        host.set_active("redis-set", False, 0.0)
+        assert cache.pressure == 0.0
+
+    def test_results_keyed_by_name(self):
+        host = make_host("mix")
+        host.on_available_change(0.0, 3)
+        host.finalize(1e6)
+        results = host.results()
+        assert set(results) == {"nginx", "redis-get", "tpcc"}
+        assert all(v > 0 for v in results.values())
+
+
+class TestCatalog:
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError):
+            make_workload("minecraft")
+
+    def test_none_scenario_empty(self):
+        assert make_workload("none") == []
+
+    def test_all_named_specs_resolvable(self):
+        for name in WORKLOAD_SPECS:
+            assert make_workload(name)[0].spec.name == name
+
+
+class TestMixController:
+    def test_toggles_but_never_kills_all(self):
+        engine = Engine()
+        host = make_host("mix")
+        MixController(engine, host, min_interval_us=100.0,
+                      max_interval_us=200.0,
+                      rng=np.random.default_rng(0))
+        toggles = []
+        original = host.set_active
+        host.set_active = lambda n, a, t: (toggles.append((n, a)),
+                                           original(n, a, t))
+        engine.run_until(20_000.0)
+        assert len(toggles) > 10
+        assert any(w.active for w in host.workloads)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            MixController(Engine(), make_host("mix"),
+                          min_interval_us=100.0, max_interval_us=50.0)
