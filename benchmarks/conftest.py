@@ -8,6 +8,16 @@ Simulated-slot budgets scale with the ``REPRO_SCALE`` environment
 variable (e.g. ``REPRO_SCALE=10 pytest benchmarks/`` for publication-
 grade tail percentiles; the defaults keep the whole suite in tens of
 minutes).
+
+Execution opt-ins (see :mod:`repro.exec`):
+
+* ``REPRO_JOBS=N`` — the spec-batch drivers (Fig. 8, 11, 14 and any
+  future grid) fan their simulations out over N worker processes;
+  results are byte-identical to a serial run.
+* ``REPRO_CACHE=1`` — simulations route through the persistent result
+  cache under ``results/cache`` (``REPRO_CACHE_DIR`` overrides), so a
+  re-run of the suite only executes what calibration changes
+  invalidated.
 """
 
 import pathlib
@@ -15,6 +25,21 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def exec_opt_ins():
+    """Validate and surface REPRO_JOBS / REPRO_CACHE once per session."""
+    from repro.exec.batch import default_jobs
+    from repro.exec.cache import active_cache
+
+    jobs = default_jobs()  # raises early on a malformed REPRO_JOBS
+    cache = active_cache()
+    if jobs > 1 or cache is not None:
+        where = cache.root if cache is not None else "off"
+        print(f"\n[repro.exec] batch drivers: jobs={jobs}, "
+              f"result cache: {where}")
+    return jobs
 
 
 @pytest.fixture(scope="session")

@@ -3,6 +3,9 @@
 Commands:
 
 * ``run``     — one simulation (policy x workload x load), JSON/text out;
+* ``sweep``   — a grid of simulations through the parallel batch
+  runner and its persistent result cache (``--jobs N``,
+  ``--no-cache``, ``--cache-dir``);
 * ``train``   — run the offline phase and report the fitted models;
 * ``figure``  — regenerate one of the paper's tables/figures;
 * ``list``    — enumerate available policies, workloads and figures.
@@ -92,6 +95,40 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON")
 
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="run a simulation grid through the parallel batch runner")
+    sweep_cmd.add_argument("--config", choices=("20mhz", "100mhz", "both"),
+                           default="both")
+    sweep_cmd.add_argument("--policy", choices=POLICIES,
+                           default="concordia")
+    sweep_cmd.add_argument("--workload", choices=SCENARIOS, default="mix")
+    sweep_cmd.add_argument("--loads", default="0.05,0.25,0.5,0.75,1.0",
+                           help="comma-separated cell load fractions")
+    sweep_cmd.add_argument("--slots", type=int, default=None,
+                           help="slots per run (default: the "
+                                "figure-8 budgets, REPRO_SCALE-scaled)")
+    sweep_cmd.add_argument("--seeds", default="7",
+                           help="comma-separated simulation seeds")
+    sweep_cmd.add_argument("--cores", type=int, default=None,
+                           help="override the pool's core count")
+    sweep_cmd.add_argument("--jobs", type=int, default=None,
+                           help="worker processes (default: REPRO_JOBS "
+                                "or 1 = serial)")
+    sweep_cmd.add_argument("--no-cache", action="store_true",
+                           help="bypass the persistent result cache")
+    sweep_cmd.add_argument("--cache-dir", default=None,
+                           help="result cache directory "
+                                "(default: REPRO_CACHE_DIR or "
+                                "results/cache)")
+    sweep_cmd.add_argument("--timeout", type=float, default=None,
+                           help="per-job timeout in seconds "
+                                "(parallel mode only)")
+    sweep_cmd.add_argument("--retries", type=int, default=1,
+                           help="retry budget per crashed job")
+    sweep_cmd.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON")
+
     train_cmd = sub.add_parser("train", help="run the offline phase")
     train_cmd.add_argument("--config", choices=sorted(CONFIGS),
                            default="20mhz")
@@ -158,6 +195,105 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .exec.batch import run_batch
+    from .exec.cache import ResultCache, default_cache_dir
+    from .experiments.common import make_spec, scaled_slots
+
+    try:
+        loads = [float(v) for v in args.loads.split(",") if v.strip()]
+        seeds = [int(v) for v in args.seeds.split(",") if v.strip()]
+    except ValueError:
+        print("error: --loads/--seeds must be comma-separated numbers",
+              file=sys.stderr)
+        return 2
+    config_names = (sorted(CONFIGS) if args.config == "both"
+                    else [args.config])
+    specs, meta = [], []
+    for name in config_names:
+        factory = CONFIGS[name]
+        config = factory() if args.cores is None else \
+            factory(num_cores=args.cores)
+        slots = args.slots if args.slots is not None else \
+            scaled_slots(2500 if name == "20mhz" else 5000)
+        for seed in seeds:
+            for load in loads:
+                specs.append(make_spec(config, args.policy,
+                                       workload=args.workload,
+                                       load_fraction=load,
+                                       num_slots=slots, seed=seed))
+                meta.append({"config": name, "load": load, "seed": seed,
+                             "slots": slots})
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir is not None
+                            else default_cache_dir())
+
+    def progress(event) -> None:
+        if args.json:
+            return
+        status = event["status"]
+        line = (f"[{event['done']}/{event['total']}] {status:<7s} "
+                f"{event['label']}")
+        if status not in ("cached",):
+            line += f"  ({event['wall_s']:.1f}s)"
+        if event["error"]:
+            line += f"  {event['error']}"
+        print(line, file=sys.stderr)
+
+    report = run_batch(specs, jobs=args.jobs, cache=cache,
+                       use_cache=not args.no_cache,
+                       timeout_s=args.timeout, retries=args.retries,
+                       progress=progress)
+
+    rows = []
+    for entry, outcome in zip(meta, report.outcomes):
+        row = dict(entry)
+        row["status"] = outcome.status
+        row["wall_s"] = round(outcome.wall_s, 3)
+        if outcome.succeeded:
+            result = outcome.result
+            row["p99999_us"] = result["latency"]["p99999_us"]
+            row["miss_fraction"] = result["latency"]["miss_fraction"]
+            row["reclaimed_fraction"] = result["reclaimed_fraction"]
+        else:
+            row["error"] = outcome.error
+        rows.append(row)
+
+    if args.json:
+        print(json.dumps({
+            "summary": {
+                "jobs": report.jobs,
+                "total": len(report.outcomes),
+                "executed": report.executed,
+                "cached": report.cached,
+                "failed": report.failed,
+                "retried": report.retried,
+                "batch_wall_s": report.batch_wall_s,
+                "total_job_wall_s": report.total_job_wall_s,
+                "speedup": report.speedup,
+                "fingerprint": report.fingerprint,
+            },
+            "results": rows,
+        }, indent=2))
+    else:
+        print(report.summary())
+        for row in rows:
+            if row["status"] in ("ok", "cached"):
+                print(f"  {row['config']} load={row['load']:.2f} "
+                      f"seed={row['seed']}: "
+                      f"p99.999={row['p99999_us']:.0f}us "
+                      f"miss={row['miss_fraction']:.2e} "
+                      f"reclaimed={row['reclaimed_fraction'] * 100:.1f}% "
+                      f"[{row['status']}]")
+            else:
+                print(f"  {row['config']} load={row['load']:.2f} "
+                      f"seed={row['seed']}: {row['status']} "
+                      f"— {row.get('error')}")
+    return 0 if report.failed == 0 else 1
+
+
 def _cmd_train(args) -> int:
     from .core.training import train_predictor
 
@@ -192,11 +328,18 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "train": _cmd_train,
         "figure": _cmd_figure,
         "list": _cmd_list,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ValueError as exc:
+        # Clean CLI surface for validation errors (malformed
+        # REPRO_JOBS/REPRO_SCALE, bad option combinations, ...).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

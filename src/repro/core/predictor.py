@@ -34,6 +34,20 @@ HANDPICKED_FEATURES = (
 )
 
 
+class _QuantileTreeFactory:
+    """Default per-task model factory.
+
+    A class (not a lambda) so trained predictors stay picklable for
+    the on-disk predictor cache (:mod:`repro.exec`).
+    """
+
+    def __init__(self, tree_config: Optional[TreeConfig] = None) -> None:
+        self.tree_config = tree_config
+
+    def __call__(self) -> QuantileTreeWCET:
+        return QuantileTreeWCET(self.tree_config)
+
+
 @dataclass
 class OfflineDataset:
     """Profiling samples grouped per task type."""
@@ -70,7 +84,7 @@ class ConcordiaPredictor:
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         if model_factory is None:
-            model_factory = lambda: QuantileTreeWCET(tree_config)
+            model_factory = _QuantileTreeFactory(tree_config)
         self._model_factory = model_factory
         self.handpicked = handpicked
         self.top_n = top_n

@@ -12,6 +12,9 @@ fits per task type).
 
 from __future__ import annotations
 
+import os
+import pathlib
+import pickle
 from typing import Callable, Optional
 
 import numpy as np
@@ -55,8 +58,24 @@ def train_predictor(
     model_factory: Optional[Callable[[], WcetModel]] = None,
     tree_config: Optional[TreeConfig] = None,
     dataset: Optional[OfflineDataset] = None,
+    cache_path: Optional["os.PathLike"] = None,
 ) -> ConcordiaPredictor:
-    """Full offline phase: profile (unless given a dataset) and fit."""
+    """Full offline phase: profile (unless given a dataset) and fit.
+
+    When ``cache_path`` is given, a previously trained predictor is
+    unpickled from there instead of re-profiling, and a fresh fit is
+    pickled back — training is deterministic in (config, slots, seed),
+    so the reloaded model is identical to what retraining would yield.
+    """
+    if cache_path is not None:
+        path = pathlib.Path(cache_path)
+        if path.exists():
+            try:
+                with path.open("rb") as handle:
+                    return pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError):
+                pass  # corrupt or stale artifact: retrain below
     if dataset is None:
         dataset = collect_offline_dataset(pool_config, num_slots, seed)
     predictor = ConcordiaPredictor(
@@ -65,4 +84,14 @@ def train_predictor(
         rng=np.random.default_rng(seed),
     )
     predictor.fit_offline(dataset)
+    if cache_path is not None:
+        path = pathlib.Path(cache_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(predictor, handle)
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError):
+            tmp.unlink(missing_ok=True)
     return predictor

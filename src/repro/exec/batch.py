@@ -1,0 +1,428 @@
+"""The worker-pool batch runner: specs in, outcomes + telemetry out.
+
+Execution model (the experiment-faabric work-queue shape, adapted):
+
+* jobs already in the cache are reported as hits without spawning
+  anything;
+* the parent pre-trains (or reloads) every distinct predictor the
+  batch needs, so forked workers inherit the trained models instead of
+  re-training them per process;
+* at most ``jobs`` child processes run at once, each executing one
+  spec hermetically and reporting through a pipe;
+* a job that raises is recorded and retried up to ``retries`` times —
+  a crash degrades to a recorded error, never kills the batch;
+* a job that exceeds ``timeout_s`` is killed (``SIGTERM``) and
+  recorded as a timeout (not retried: a deterministic job that timed
+  out once will time out again).
+
+``jobs=1`` (the default without ``REPRO_JOBS``) executes in-process in
+submission order; because every spec is hermetic, the parallel results
+are byte-identical to that serial baseline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from .cache import ResultCache, activated_cache, active_cache
+from .fingerprint import model_fingerprint
+from .spec import SimSpec, pool_config_from_dict, spec_key
+from .worker import run_job_in_child
+
+__all__ = ["JobOutcome", "BatchReport", "default_jobs", "run_batch"]
+
+#: Parent poll interval while waiting on child pipes (seconds).
+_POLL_INTERVAL_S = 0.01
+
+ProgressCallback = Callable[[dict], None]
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (defaults to 1 = serial)."""
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be a positive integer, got {raw!r}"
+        ) from None
+    if jobs <= 0:
+        raise ValueError(
+            f"REPRO_JOBS must be a positive integer, got {raw!r}")
+    return jobs
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one spec in a batch."""
+
+    index: int
+    spec: SimSpec
+    key: str
+    status: str  # "ok" | "cached" | "failed" | "timeout"
+    attempts: int = 1
+    wall_s: float = 0.0  # cumulative over attempts; 0 for cache hits
+    error: Optional[str] = None
+    result: Optional[dict] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class BatchReport:
+    """All outcomes plus the aggregate telemetry of one batch run."""
+
+    outcomes: List[JobOutcome]
+    jobs: int
+    batch_wall_s: float
+    fingerprint: str = ""
+    retried: int = 0
+
+    def _count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def executed(self) -> int:
+        """Jobs that actually ran a simulation (successfully)."""
+        return self._count("ok")
+
+    @property
+    def cached(self) -> int:
+        return self._count("cached")
+
+    @property
+    def failed(self) -> int:
+        return self._count("failed") + self._count("timeout")
+
+    @property
+    def total_job_wall_s(self) -> float:
+        """CPU-side wall-clock spent inside jobs (all attempts)."""
+        return sum(o.wall_s for o in self.outcomes)
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate job time over batch time (1.0 = no overlap)."""
+        return self.total_job_wall_s / max(self.batch_wall_s, 1e-9)
+
+    def results(self, strict: bool = True) -> list:
+        """Per-spec :class:`SimulationResult`s, in submission order."""
+        from ..sim.runner import SimulationResult
+
+        failures = [o for o in self.outcomes if not o.succeeded]
+        if failures and strict:
+            lines = "; ".join(
+                f"job {o.index} ({o.spec.label()}): {o.status}"
+                f" — {o.error}" for o in failures)
+            raise RuntimeError(
+                f"{len(failures)} of {len(self.outcomes)} jobs failed: "
+                f"{lines}")
+        return [
+            SimulationResult.from_dict(o.result) if o.succeeded else None
+            for o in self.outcomes
+        ]
+
+    def summary(self) -> str:
+        return (f"{len(self.outcomes)} jobs on {self.jobs} worker(s): "
+                f"{self.executed} executed, {self.cached} cached, "
+                f"{self.failed} failed ({self.retried} retries) | "
+                f"wall {self.batch_wall_s:.1f}s, "
+                f"job time {self.total_job_wall_s:.1f}s, "
+                f"speedup {self.speedup:.1f}x")
+
+
+@dataclass
+class _Pending:
+    index: int
+    spec: SimSpec
+    key: str
+    attempt: int = 0
+    wall_s: float = 0.0  # accumulated over failed attempts
+
+
+@dataclass
+class _Running:
+    pending: _Pending
+    process: multiprocessing.Process
+    conn: object
+    started: float = field(default_factory=time.perf_counter)
+
+
+def run_batch(
+    specs: Sequence[SimSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> BatchReport:
+    """Execute a batch of specs; never raises for individual jobs."""
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    if use_cache and cache is None:
+        cache = active_cache()
+    if not use_cache:
+        cache = None
+    fingerprint = model_fingerprint()
+    started = time.perf_counter()
+    outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+    done = 0
+
+    def emit(kind: str, outcome: JobOutcome) -> None:
+        if progress is None:
+            return
+        progress({
+            "kind": kind,
+            "index": outcome.index,
+            "total": len(specs),
+            "done": done,
+            "status": outcome.status,
+            "label": outcome.spec.label(),
+            "wall_s": outcome.wall_s,
+            "error": outcome.error,
+        })
+
+    pending: List[_Pending] = []
+    for index, spec in enumerate(specs):
+        key = spec_key(spec, fingerprint)
+        artifact = cache.get(key) if cache is not None else None
+        if artifact is not None:
+            done += 1
+            outcomes[index] = JobOutcome(index=index, spec=spec, key=key,
+                                         status="cached", attempts=0,
+                                         result=artifact["result"])
+            emit("cached", outcomes[index])
+        else:
+            pending.append(_Pending(index=index, spec=spec, key=key))
+
+    retried = 0
+    if pending:
+        # Activate the cache process-wide while warming so predictor
+        # training persists/reloads through it (forked workers inherit
+        # both the activation and the trained models).
+        if cache is not None:
+            with activated_cache(cache):
+                _warm_predictors(pending)
+        else:
+            _warm_predictors(pending)
+
+    def record(outcome: JobOutcome) -> None:
+        nonlocal done
+        done += 1
+        outcomes[outcome.index] = outcome
+        if (outcome.status == "ok" and cache is not None
+                and outcome.result is not None):
+            cache.put(outcome.key, {
+                "schema": 1,
+                "key": outcome.key,
+                "fingerprint": fingerprint,
+                "spec": outcome.spec.to_dict(),
+                "result": outcome.result,
+                "meta": {"wall_s": outcome.wall_s,
+                         "attempts": outcome.attempts,
+                         "created_unix": time.time()},
+            })
+        emit(outcome.status if outcome.succeeded else "failed", outcome)
+
+    if jobs <= 1:
+        retried = _run_serial(pending, retries, record)
+    else:
+        retried = _run_parallel(pending, jobs, timeout_s, retries, record)
+
+    return BatchReport(
+        outcomes=[o for o in outcomes if o is not None],
+        jobs=jobs,
+        batch_wall_s=time.perf_counter() - started,
+        fingerprint=fingerprint,
+        retried=retried,
+    )
+
+
+# -- predictor pre-warming ---------------------------------------------------------
+
+
+def _warm_predictors(pending: Sequence[_Pending]) -> None:
+    """Train/reload each distinct predictor once, in the parent.
+
+    Forked workers then inherit the trained models through the
+    process-local predictor cache instead of re-training one copy per
+    worker; with an on-disk cache active the models also persist
+    across batches.
+    """
+    from ..experiments.common import get_predictor
+    from .spec import canonical_json
+
+    seen = set()
+    for item in pending:
+        spec = item.spec
+        if spec.policy != "concordia" or spec.training_slots is None:
+            continue
+        if "predictor" in spec.policy_kwargs:
+            continue
+        key = canonical_json({"config": spec.config,
+                              "seed": spec.training_seed,
+                              "slots": spec.training_slots})
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            get_predictor(pool_config_from_dict(spec.config),
+                          seed=spec.training_seed,
+                          num_slots=spec.training_slots)
+        except Exception:  # noqa: BLE001 - the job itself will report it
+            pass
+
+
+# -- serial execution --------------------------------------------------------------
+
+
+def _run_serial(pending: Sequence[_Pending], retries: int,
+                record: Callable[[JobOutcome], None]) -> int:
+    """In-process execution in submission order (no timeout support)."""
+    from .spec import execute_spec
+
+    retried = 0
+    for item in pending:
+        error = None
+        while True:
+            start = time.perf_counter()
+            try:
+                result = execute_spec(item.spec, attempt=item.attempt)
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                item.wall_s += time.perf_counter() - start
+                error = f"{type(exc).__name__}: {exc}"
+                if item.attempt < retries:
+                    item.attempt += 1
+                    retried += 1
+                    continue
+                record(JobOutcome(index=item.index, spec=item.spec,
+                                  key=item.key, status="failed",
+                                  attempts=item.attempt + 1,
+                                  wall_s=item.wall_s, error=error))
+                break
+            item.wall_s += time.perf_counter() - start
+            record(JobOutcome(index=item.index, spec=item.spec,
+                              key=item.key, status="ok",
+                              attempts=item.attempt + 1,
+                              wall_s=item.wall_s, result=result))
+            break
+    return retried
+
+
+# -- parallel execution ------------------------------------------------------------
+
+
+def _mp_context():
+    """Fork when available (workers inherit trained predictors)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+def _run_parallel(pending: Sequence[_Pending], jobs: int,
+                  timeout_s: Optional[float], retries: int,
+                  record: Callable[[JobOutcome], None]) -> int:
+    ctx = _mp_context()
+    queue: List[_Pending] = list(pending)
+    active: List[_Running] = []
+    retried = 0
+
+    def spawn(item: _Pending) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=run_job_in_child,
+            args=(child_conn, item.spec.to_dict(), item.attempt),
+        )
+        process.start()
+        child_conn.close()
+        active.append(_Running(pending=item, process=process,
+                               conn=parent_conn))
+
+    def finish(run: _Running, status: str, wall_s: float,
+               result: Optional[dict] = None,
+               error: Optional[str] = None) -> bool:
+        """Record or requeue; returns True when the job was retried."""
+        nonlocal retried
+        item = run.pending
+        item.wall_s += wall_s
+        if status == "error" and item.attempt < retries:
+            item.attempt += 1
+            retried += 1
+            queue.append(item)
+            return True
+        final = "ok" if status == "ok" else (
+            "timeout" if status == "timeout" else "failed")
+        record(JobOutcome(index=item.index, spec=item.spec, key=item.key,
+                          status=final, attempts=item.attempt + 1,
+                          wall_s=item.wall_s, result=result, error=error))
+        return False
+
+    try:
+        _drain(queue, active, jobs, timeout_s, spawn, finish)
+    except BaseException:
+        # Ctrl-C (or any parent-side failure): kill the workers so the
+        # interpreter's atexit join doesn't hang on orphaned
+        # simulations.
+        for run in active:
+            run.process.terminate()
+        for run in active:
+            run.process.join(timeout=5.0)
+            run.conn.close()
+        raise
+    return retried
+
+
+def _drain(queue: List[_Pending], active: List[_Running], jobs: int,
+           timeout_s: Optional[float],
+           spawn: Callable[[_Pending], None],
+           finish: Callable[..., bool]) -> None:
+    """Run the spawn/poll loop until every queued job is finished."""
+    while queue or active:
+        while queue and len(active) < jobs:
+            spawn(queue.pop(0))
+        progressed = False
+        for run in list(active):
+            if run.conn.poll(0):
+                try:
+                    status, payload = run.conn.recv()
+                except (EOFError, OSError):
+                    status, payload = "error", {
+                        "error": "worker pipe closed unexpectedly",
+                        "wall_s": time.perf_counter() - run.started}
+                run.conn.close()
+                run.process.join()
+                active.remove(run)
+                finish(run, status, payload.get("wall_s", 0.0),
+                       result=payload.get("result"),
+                       error=payload.get("error"))
+                progressed = True
+            elif (timeout_s is not None
+                    and time.perf_counter() - run.started > timeout_s):
+                run.process.terminate()
+                run.process.join(timeout=5.0)
+                run.conn.close()
+                active.remove(run)
+                finish(run, "timeout",
+                       time.perf_counter() - run.started,
+                       error=f"job exceeded timeout ({timeout_s:g}s) "
+                             f"and was killed")
+                progressed = True
+            elif not run.process.is_alive():
+                # Died without reporting (segfault, os._exit, ...).
+                exitcode = run.process.exitcode
+                run.conn.close()
+                active.remove(run)
+                finish(run, "error",
+                       time.perf_counter() - run.started,
+                       error=f"worker exited with code {exitcode} "
+                             f"without reporting a result")
+                progressed = True
+        if not progressed:
+            time.sleep(_POLL_INTERVAL_S)

@@ -1,0 +1,41 @@
+"""Child-process entry point for the batch runner.
+
+Each job runs in its own forked process with a dedicated pipe back to
+the parent.  The worker never raises across the process boundary: any
+exception — including :class:`SpecError` from a malformed payload — is
+serialized as an error message plus traceback, so one crashing job can
+never take the batch down.  Hard crashes (a worker dying without
+reporting) surface in the parent as a nonzero exit code.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from .spec import SimSpec, execute_spec
+
+__all__ = ["run_job_in_child"]
+
+
+def run_job_in_child(conn, spec_payload: dict, attempt: int) -> None:
+    """Execute one spec and ship (status, payload) through ``conn``."""
+    start = time.perf_counter()
+    try:
+        spec = SimSpec.from_dict(spec_payload)
+        result = execute_spec(spec, attempt=attempt)
+        conn.send(("ok", {
+            "result": result,
+            "wall_s": time.perf_counter() - start,
+        }))
+    except BaseException as exc:  # noqa: BLE001 - isolation boundary
+        try:
+            conn.send(("error", {
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+                "wall_s": time.perf_counter() - start,
+            }))
+        except (BrokenPipeError, OSError):  # parent gave up on us
+            pass
+    finally:
+        conn.close()

@@ -3,18 +3,25 @@
 Every experiment in :mod:`repro.experiments` reproduces one table or
 figure from the paper.  They share:
 
-* a predictor cache (offline training is expensive and reusable);
+* a predictor cache (offline training is expensive and reusable) —
+  process-local, and persisted through :mod:`repro.exec`'s on-disk
+  cache when one is active so parallel workers and later runs reload
+  instead of re-training;
 * policy factories by name;
 * a slot-budget scale — set the ``REPRO_SCALE`` environment variable to
   run longer (e.g. ``REPRO_SCALE=10`` for tighter tail percentiles) or
   shorter experiments than the defaults;
+* spec-batch execution (:func:`make_spec` / :func:`run_spec_batch`):
+  drivers submit their simulation grids to :func:`repro.exec.run_batch`
+  and parallelize via ``--jobs`` / ``REPRO_JOBS``;
 * plain-text table rendering for the benchmark reports.
 """
 
 from __future__ import annotations
 
+import math
 import os
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..baselines.flexran import DedicatedScheduler, FlexRanScheduler
 from ..baselines.shenango import ShenangoScheduler
@@ -23,14 +30,27 @@ from ..baselines.utilization import UtilizationScheduler
 from ..core.predictor import ConcordiaPredictor
 from ..core.scheduler import ConcordiaScheduler
 from ..core.training import train_predictor
+from ..exec.cache import active_cache
+from ..exec.fingerprint import model_fingerprint
+from ..exec.spec import (
+    SimSpec,
+    SpecError,
+    execute_spec,
+    pool_config_to_dict,
+    predictor_cache_key,
+    spec_key,
+)
 from ..ran.config import PoolConfig
 from ..sim.runner import Simulation, SimulationResult
 
 __all__ = [
     "scaled_slots",
+    "repro_scale",
     "get_predictor",
     "make_policy",
+    "make_spec",
     "run_simulation",
+    "run_spec_batch",
     "format_table",
 ]
 
@@ -40,10 +60,26 @@ _PREDICTOR_CACHE: dict = {}
 TRAINING_SLOTS = 800
 
 
+def repro_scale() -> float:
+    """The validated ``REPRO_SCALE`` multiplier (default 1.0)."""
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return 1.0
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SCALE must be a positive number, got {raw!r}"
+        ) from None
+    if not math.isfinite(scale) or scale <= 0:
+        raise ValueError(
+            f"REPRO_SCALE must be a positive number, got {raw!r}")
+    return scale
+
+
 def scaled_slots(default: int, minimum: int = 200) -> int:
     """Apply the REPRO_SCALE environment multiplier to a slot budget."""
-    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
-    return max(minimum, int(default * scale))
+    return max(minimum, int(default * repro_scale()))
 
 
 def _config_key(config: PoolConfig) -> tuple:
@@ -54,15 +90,32 @@ def _config_key(config: PoolConfig) -> tuple:
     )
 
 
+def _training_slots(num_slots: Optional[int]) -> int:
+    return num_slots if num_slots is not None else \
+        scaled_slots(TRAINING_SLOTS, minimum=300)
+
+
 def get_predictor(config: PoolConfig, seed: int = 42,
                   num_slots: Optional[int] = None) -> ConcordiaPredictor:
-    """Train (or fetch from cache) the offline predictor for a config."""
-    key = (_config_key(config), seed)
+    """Train (or fetch from cache) the offline predictor for a config.
+
+    Keyed explicitly on (config, seed, training slots) — two different
+    training budgets never alias.  When a result cache is active
+    (``REPRO_CACHE=1`` or a batch run), the trained model is pickled
+    to disk so other worker processes and later sessions reload it
+    instead of re-training.
+    """
+    slots = _training_slots(num_slots)
+    key = (_config_key(config), seed, slots)
     if key not in _PREDICTOR_CACHE:
-        slots = num_slots if num_slots is not None else \
-            scaled_slots(TRAINING_SLOTS, minimum=300)
-        _PREDICTOR_CACHE[key] = train_predictor(config, num_slots=slots,
-                                                seed=seed)
+        cache = active_cache()
+        cache_path = None
+        if cache is not None:
+            cache_path = cache.predictor_path(
+                predictor_cache_key(config, seed, slots,
+                                    model_fingerprint()))
+        _PREDICTOR_CACHE[key] = train_predictor(
+            config, num_slots=slots, seed=seed, cache_path=cache_path)
     return _PREDICTOR_CACHE[key]
 
 
@@ -90,7 +143,7 @@ def make_policy(name: str, config: PoolConfig, seed: int = 42, **kwargs):
     raise ValueError(f"unknown policy {name!r}")
 
 
-def run_simulation(
+def make_spec(
     config: PoolConfig,
     policy_name: str,
     workload: str = "none",
@@ -99,14 +152,103 @@ def run_simulation(
     seed: int = 7,
     policy_kwargs: Optional[dict] = None,
     **sim_kwargs,
+) -> SimSpec:
+    """Declarative :class:`SimSpec` for one ``run_simulation`` call.
+
+    Raises :class:`SpecError` when the call cannot be expressed
+    declaratively (e.g. a live predictor object in ``policy_kwargs``).
+    The predictor-training budget is resolved *now*, so the spec is
+    hermetic with respect to ``REPRO_SCALE`` at submission time.
+    """
+    training_slots = None
+    policy_kwargs = dict(policy_kwargs or {})
+    if policy_name == "concordia" and "predictor" not in policy_kwargs:
+        training_slots = _training_slots(None)
+    return SimSpec(
+        config=pool_config_to_dict(config),
+        policy=policy_name,
+        workload=workload,
+        load_fraction=load_fraction,
+        num_slots=num_slots,
+        seed=seed,
+        policy_kwargs=policy_kwargs,
+        sim_kwargs=sim_kwargs,
+        training_slots=training_slots,
+        training_seed=42,
+    )
+
+
+def run_simulation(
+    config: PoolConfig,
+    policy_name: str,
+    workload: str = "none",
+    load_fraction: float = 0.5,
+    num_slots: int = 2000,
+    seed: int = 7,
+    policy_kwargs: Optional[dict] = None,
+    use_cache: Optional[bool] = None,
+    **sim_kwargs,
 ) -> SimulationResult:
-    """One full experiment run with a named policy."""
+    """One full experiment run with a named policy.
+
+    When a result cache is active (``REPRO_CACHE=1``, a ``repro
+    sweep``, or an :func:`repro.exec.cache.activated_cache` scope), the
+    call is routed through it: a hit returns the stored result without
+    simulating, a miss executes hermetically and stores the artifact.
+    Cached results carry ``metrics=None``/``pool=None`` — callers that
+    consume those live objects must pass ``use_cache=False``.
+    Calls that cannot be expressed as a spec (live objects in
+    ``policy_kwargs``, ``record_tasks=True``) silently bypass the
+    cache.
+    """
+    cache = None
+    if use_cache is not False and not sim_kwargs.get("record_tasks"):
+        cache = active_cache()
+    if cache is not None:
+        try:
+            spec = make_spec(config, policy_name, workload=workload,
+                             load_fraction=load_fraction,
+                             num_slots=num_slots, seed=seed,
+                             policy_kwargs=policy_kwargs, **sim_kwargs)
+        except SpecError:
+            spec = None
+        if spec is not None:
+            key = spec_key(spec, model_fingerprint())
+            artifact = cache.get(key)
+            if artifact is None:
+                payload = execute_spec(spec)
+                cache.put(key, {
+                    "schema": 1,
+                    "key": key,
+                    "fingerprint": model_fingerprint(),
+                    "spec": spec.to_dict(),
+                    "result": payload,
+                    "meta": {},
+                })
+            else:
+                payload = artifact["result"]
+            return SimulationResult.from_dict(payload)
+
     policy = make_policy(policy_name, config, seed=42,
                          **(policy_kwargs or {}))
     simulation = Simulation(config, policy, workload=workload,
                             load_fraction=load_fraction, seed=seed,
                             **sim_kwargs)
     return simulation.run(num_slots)
+
+
+def run_spec_batch(specs: Sequence[SimSpec], jobs: Optional[int] = None,
+                   **batch_kwargs) -> list:
+    """Execute a driver's spec grid; returns ``SimulationResult``s.
+
+    ``jobs=None`` honours ``REPRO_JOBS`` (default 1 = serial, in
+    submission order).  Raises if any job failed — drivers want all
+    their grid points.
+    """
+    from ..exec.batch import run_batch
+
+    report = run_batch(specs, jobs=jobs, **batch_kwargs)
+    return report.results(strict=True)
 
 
 def format_table(headers: list, rows: list, title: str = "") -> str:

@@ -14,57 +14,74 @@ from __future__ import annotations
 
 from ..ran.config import pool_100mhz_2cells, pool_20mhz_7cells
 from ..workloads.catalog import WORKLOAD_SPECS
-from .common import format_table, run_simulation, scaled_slots
+from .common import format_table, make_spec, run_spec_batch, scaled_slots
 
-__all__ = ["run_reclaim", "run_workloads", "main", "LOAD_POINTS"]
+__all__ = ["run_reclaim", "run_workloads", "build_reclaim_specs", "main",
+           "LOAD_POINTS"]
 
 LOAD_POINTS = (0.05, 0.25, 0.5, 0.75, 1.0)
 
 
-def run_reclaim(num_slots: int = None, seed: int = 7,
-                loads=LOAD_POINTS) -> dict:
-    """Fig. 8a sweep: reclaimed CPU vs load for both configs."""
-    results = {"loads": list(loads), "configs": {}}
+def build_reclaim_specs(num_slots: int = None, seed: int = 7,
+                        loads=LOAD_POINTS) -> tuple:
+    """The Fig. 8a grid as (specs, (label, load) metadata) pairs."""
+    specs, meta = [], []
     for label, config, slots_scale in (
         ("20MHz", pool_20mhz_7cells(), 1.0),
         ("100MHz", pool_100mhz_2cells(), 2.0),
     ):
         slots = num_slots if num_slots is not None else \
             scaled_slots(int(2500 * slots_scale))
-        series = []
         for load in loads:
-            result = run_simulation(config, "concordia", workload="mix",
-                                    load_fraction=load, num_slots=slots,
-                                    seed=seed)
-            series.append({
-                "load": load,
-                "reclaimed": result.reclaimed_fraction,
-                "upper_bound": result.idle_upper_bound,
-                "miss_fraction": result.latency.miss_fraction,
-            })
-        results["configs"][label] = series
+            specs.append(make_spec(config, "concordia", workload="mix",
+                                   load_fraction=load, num_slots=slots,
+                                   seed=seed))
+            meta.append((label, load))
+    return specs, meta
+
+
+def run_reclaim(num_slots: int = None, seed: int = 7,
+                loads=LOAD_POINTS, jobs: int = None) -> dict:
+    """Fig. 8a sweep: reclaimed CPU vs load for both configs."""
+    specs, meta = build_reclaim_specs(num_slots, seed, loads)
+    results = {"loads": list(loads), "configs": {}}
+    for (label, load), result in zip(meta, run_spec_batch(specs,
+                                                          jobs=jobs)):
+        results["configs"].setdefault(label, []).append({
+            "load": load,
+            "reclaimed": result.reclaimed_fraction,
+            "upper_bound": result.idle_upper_bound,
+            "miss_fraction": result.latency.miss_fraction,
+        })
     return results
 
 
 def run_workloads(num_slots: int = None, seed: int = 7,
-                  loads=LOAD_POINTS) -> dict:
+                  loads=LOAD_POINTS, jobs: int = None) -> dict:
     """Fig. 8b-d: collocated workload throughput vs the no-vRAN ideal."""
     results = {"loads": list(loads), "workloads": {}}
     configs = {
         "20MHz": (pool_20mhz_7cells(), 8),
         "100MHz": (pool_100mhz_2cells(), 12),
     }
+    specs, meta = [], []
     for workload in ("redis", "nginx", "tpcc", "mlperf"):
-        per_config = {}
         for label, (config, cores) in configs.items():
             slots = num_slots if num_slots is not None else \
                 scaled_slots(2000 if label == "20MHz" else 4000)
+            for load in loads:
+                specs.append(make_spec(config, "concordia",
+                                       workload=workload,
+                                       load_fraction=load,
+                                       num_slots=slots, seed=seed))
+                meta.append((workload, label, load))
+    batch = dict(zip(meta, run_spec_batch(specs, jobs=jobs)))
+    for workload in ("redis", "nginx", "tpcc", "mlperf"):
+        per_config = {}
+        for label in configs:
             series = []
             for load in loads:
-                result = run_simulation(config, "concordia",
-                                        workload=workload,
-                                        load_fraction=load,
-                                        num_slots=slots, seed=seed)
+                result = batch[(workload, label, load)]
                 series.append({
                     "load": load,
                     "rates": dict(result.workload_rates_per_s),

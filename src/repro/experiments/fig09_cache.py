@@ -22,9 +22,12 @@ def run(num_slots: int = None, workload: str = "redis",
     config = pool_100mhz_2cells(num_cores=8)
     results = {}
     for policy in ("concordia", "flexran"):
+        # use_cache=False: this driver reads the live cache model off
+        # result.pool, which cached (reconstructed) results don't carry.
         result = run_simulation(config, policy, workload=workload,
                                 load_fraction=load_fraction,
-                                num_slots=num_slots, seed=seed)
+                                num_slots=num_slots, seed=seed,
+                                use_cache=False)
         cache = result.pool.cache_model
         results[policy] = {
             "stall_increase": cache.mean_stall_increase,

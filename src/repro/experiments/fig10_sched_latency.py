@@ -29,9 +29,12 @@ def run(num_slots: int = None, load_fraction: float = 0.5,
     results = {}
     for policy in ("flexran", "concordia"):
         for workload in ("none", "redis"):
+            # use_cache=False: reads raw wakeup samples off
+            # result.metrics, which cached results don't carry.
             result = run_simulation(config, policy, workload=workload,
                                     load_fraction=load_fraction,
-                                    num_slots=num_slots, seed=seed)
+                                    num_slots=num_slots, seed=seed,
+                                    use_cache=False)
             results[(policy, workload)] = {
                 "histogram": result.wakeup_histogram,
                 "total_events": result.scheduling_events,

@@ -11,41 +11,54 @@ Concordia stays within it at 99.999 %.
 from __future__ import annotations
 
 from ..ran.config import pool_100mhz_2cells, pool_20mhz_7cells
-from .common import format_table, run_simulation, scaled_slots
+from .common import format_table, make_spec, run_spec_batch, scaled_slots
 
-__all__ = ["run", "main", "WORKLOADS"]
+__all__ = ["run", "build_specs", "main", "WORKLOADS"]
 
 WORKLOADS = ("none", "nginx", "redis", "tpcc", "mlperf")
 
 
-def run(num_slots: int = None, load_fraction: float = 0.5, seed: int = 7,
-        workloads=WORKLOADS, configs=("20MHz", "100MHz"),
-        policies=("concordia", "flexran")) -> dict:
+def build_specs(num_slots: int = None, load_fraction: float = 0.5,
+                seed: int = 7, workloads=WORKLOADS,
+                configs=("20MHz", "100MHz"),
+                policies=("concordia", "flexran")) -> tuple:
+    """The Fig. 11 grid as (specs, key metadata) pairs."""
     pool_factories = {
         "20MHz": lambda: pool_20mhz_7cells(num_cores=8),
         "100MHz": lambda: pool_100mhz_2cells(num_cores=8),
     }
-    results = {}
+    specs, meta = [], []
     for config_name in configs:
         config = pool_factories[config_name]()
         slots = num_slots if num_slots is not None else scaled_slots(
             8000 if config_name == "20MHz" else 16000)
         for policy in policies:
             for workload in workloads:
-                result = run_simulation(config, policy, workload=workload,
-                                        load_fraction=load_fraction,
-                                        num_slots=slots, seed=seed)
-                summary = result.latency
-                results[(config_name, policy, workload)] = {
-                    "mean_us": summary.mean_us,
-                    "p9999_us": summary.p9999_us,
-                    "p99999_us": summary.p99999_us,
-                    "deadline_us": summary.deadline_us,
-                    "miss_fraction": summary.miss_fraction,
-                    "meets_four_nines": summary.meets_four_nines,
-                    "meets_five_nines": summary.meets_five_nines,
-                    "count": summary.count,
-                }
+                specs.append(make_spec(config, policy, workload=workload,
+                                       load_fraction=load_fraction,
+                                       num_slots=slots, seed=seed))
+                meta.append((config_name, policy, workload))
+    return specs, meta
+
+
+def run(num_slots: int = None, load_fraction: float = 0.5, seed: int = 7,
+        workloads=WORKLOADS, configs=("20MHz", "100MHz"),
+        policies=("concordia", "flexran"), jobs: int = None) -> dict:
+    specs, meta = build_specs(num_slots, load_fraction, seed, workloads,
+                              configs, policies)
+    results = {}
+    for key, result in zip(meta, run_spec_batch(specs, jobs=jobs)):
+        summary = result.latency
+        results[key] = {
+            "mean_us": summary.mean_us,
+            "p9999_us": summary.p9999_us,
+            "p99999_us": summary.p99999_us,
+            "deadline_us": summary.deadline_us,
+            "miss_fraction": summary.miss_fraction,
+            "meets_four_nines": summary.meets_four_nines,
+            "meets_five_nines": summary.meets_five_nines,
+            "count": summary.count,
+        }
     return results
 
 

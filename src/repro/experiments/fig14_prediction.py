@@ -34,7 +34,7 @@ from ..core.training import collect_offline_dataset
 from ..ran.config import PoolConfig, cell_20mhz_fdd
 from ..ran.tasks import TaskType
 from ..sim.runner import Simulation
-from .common import format_table, run_simulation, scaled_slots
+from .common import format_table, make_spec, run_spec_batch, scaled_slots
 
 __all__ = ["run", "run_full_dag", "main", "MODEL_FACTORIES", "TASKS"]
 
@@ -141,17 +141,20 @@ def run(num_slots: int = None, seed: int = 31,
 
 
 def run_full_dag(num_slots: int = None, seed: int = 31,
-                 scenarios=((1, "none"), (2, "redis"))) -> dict:
+                 scenarios=((1, "none"), (2, "redis")),
+                 jobs: int = None) -> dict:
     """The 'Full DAG Quantile DT' bars: slot-deadline misses under the
     Concordia scheduler, which compensates per-task mispredictions."""
     if num_slots is None:
         num_slots = scaled_slots(6000)
+    specs = [
+        make_spec(_pool(num_cells), "concordia", workload=workload,
+                  load_fraction=0.6, num_slots=num_slots, seed=seed)
+        for num_cells, workload in scenarios
+    ]
     results = {}
-    for num_cells, workload in scenarios:
-        config = _pool(num_cells)
-        result = run_simulation(config, "concordia", workload=workload,
-                                load_fraction=0.6, num_slots=num_slots,
-                                seed=seed)
+    for (num_cells, workload), result in zip(
+            scenarios, run_spec_batch(specs, jobs=jobs)):
         results[(num_cells, workload)] = {
             "miss_pct": 100.0 * result.latency.miss_fraction,
             "p99999_us": result.latency.p99999_us,

@@ -66,6 +66,73 @@ class SimulationResult:
     def meets_five_nines(self) -> bool:
         return self.latency.meets_five_nines
 
+    def to_dict(self) -> dict:
+        """JSON-able payload for the on-disk result cache.
+
+        Captures every scalar series the figure drivers consume; the
+        live ``metrics``/``pool`` objects are deliberately dropped —
+        a result rebuilt by :meth:`from_dict` carries None for both,
+        and callers that need them must bypass the cache
+        (``run_simulation(..., use_cache=False)``).
+        """
+        latency = self.latency
+        return {
+            "schema": 1,
+            "policy_name": self.policy_name,
+            "workload_name": self.workload_name,
+            "load_fraction": self.load_fraction,
+            "num_slots": self.num_slots,
+            "duration_us": self.duration_us,
+            "latency": {
+                "count": latency.count,
+                "mean_us": latency.mean_us,
+                "p50_us": latency.p50_us,
+                "p99_us": latency.p99_us,
+                "p9999_us": latency.p9999_us,
+                "p99999_us": latency.p99999_us,
+                "max_us": latency.max_us,
+                "deadline_us": latency.deadline_us,
+                "miss_fraction": latency.miss_fraction,
+            },
+            "reclaimed_fraction": self.reclaimed_fraction,
+            "idle_upper_bound": self.idle_upper_bound,
+            "vran_utilization": self.vran_utilization,
+            "scheduling_events": self.scheduling_events,
+            "wakeup_histogram": dict(self.wakeup_histogram),
+            "workload_ops": dict(self.workload_ops),
+            "workload_rates_per_s": dict(self.workload_rates_per_s),
+            "preemptions_per_core_ms": self.preemptions_per_core_ms,
+            "mean_stall_increase": self.mean_stall_increase,
+            "harq": self.harq,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` (metrics/pool = None)."""
+        if payload.get("schema") != 1:
+            raise ValueError(
+                f"unsupported result schema {payload.get('schema')!r}")
+        return cls(
+            policy_name=payload["policy_name"],
+            workload_name=payload["workload_name"],
+            load_fraction=payload["load_fraction"],
+            num_slots=payload["num_slots"],
+            duration_us=payload["duration_us"],
+            latency=LatencySummary(**payload["latency"]),
+            reclaimed_fraction=payload["reclaimed_fraction"],
+            idle_upper_bound=payload["idle_upper_bound"],
+            vran_utilization=payload["vran_utilization"],
+            scheduling_events=payload["scheduling_events"],
+            wakeup_histogram=dict(payload["wakeup_histogram"]),
+            workload_ops=dict(payload["workload_ops"]),
+            workload_rates_per_s=dict(payload["workload_rates_per_s"]),
+            preemptions_per_core_ms=payload["preemptions_per_core_ms"],
+            mean_stall_increase=payload["mean_stall_increase"],
+            metrics=None,
+            pool=None,
+            harq=payload["harq"],
+        )
+
 
 class Simulation:
     """One configured experiment: pool + policy + traffic + workloads."""

@@ -70,3 +70,55 @@ class TestCommands:
         code = main(["figure", "fig3"])
         assert code == 0
         assert "Figure 3" in capsys.readouterr().out
+
+
+class TestSweep:
+    SWEEP = ["sweep", "--config", "20mhz", "--policy", "flexran",
+             "--workload", "none", "--loads", "0.25,0.75",
+             "--slots", "120", "--cores", "4", "--json"]
+
+    def test_cold_then_warm_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = self.SWEEP + ["--cache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["summary"]["executed"] == 2
+        assert cold["summary"]["cached"] == 0
+
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["summary"]["executed"] == 0  # zero simulations ran
+        assert warm["summary"]["cached"] == 2
+        for before, after in zip(cold["results"], warm["results"]):
+            assert after["p99999_us"] == before["p99999_us"]
+            assert after["miss_fraction"] == before["miss_fraction"]
+
+    def test_no_cache_always_executes(self, capsys, tmp_path):
+        argv = self.SWEEP[:-1] + ["--loads", "0.25", "--no-cache",
+                                  "--cache-dir", str(tmp_path), "--json"]
+        for _ in range(2):
+            assert main(argv) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["summary"]["executed"] == 1
+            assert payload["summary"]["cached"] == 0
+        assert not any(tmp_path.iterdir())  # nothing was written
+
+    def test_text_summary(self, capsys, tmp_path):
+        argv = [a for a in self.SWEEP if a != "--json"] + \
+            ["--loads", "0.25", "--cache-dir", str(tmp_path / "c")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 executed, 0 cached, 0 failed" in out
+        assert "p99.999=" in out
+
+    def test_rejects_malformed_loads(self, capsys):
+        code = main(["sweep", "--loads", "fast,slow", "--no-cache"])
+        assert code == 2
+        assert "--loads" in capsys.readouterr().err
+
+    def test_rejects_malformed_repro_jobs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        code = main(["sweep", "--config", "20mhz", "--loads", "0.25",
+                     "--no-cache"])
+        assert code == 2
+        assert "REPRO_JOBS" in capsys.readouterr().err
