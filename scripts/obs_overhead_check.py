@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""CI guard: the observability layer must not perturb the datapath.
+
+Runs the same Fig. 11-style simulation (20 MHz / 7 cells, collocated
+Redis) twice — event bus disabled (production default) and enabled
+(full task/core/wakeup event recording) — and fails when the enabled
+run adds more than the allowed wall-clock overhead.  The enabled run's
+Chrome trace is written next to the metrics dump so CI can upload both
+as artifacts.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_overhead_check.py \
+        [--slots 800] [--threshold 0.10] [--out-dir results/ci]
+
+Exit code 0 when within budget, 1 when the overhead guard trips.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+
+def timed_run(slots: int, seed: int, with_bus: bool):
+    """One simulation; returns (wall_s, result, bus-or-None)."""
+    from repro.experiments.common import make_policy
+    from repro.obs.events import EventBus
+    from repro.ran.config import pool_20mhz_7cells
+    from repro.sim.runner import Simulation
+
+    config = pool_20mhz_7cells(num_cores=8)
+    policy = make_policy("concordia-noml", config)
+    bus = EventBus() if with_bus else None
+    simulation = Simulation(config, policy, workload="redis",
+                            load_fraction=0.5, seed=seed, event_bus=bus)
+    start = time.perf_counter()
+    result = simulation.run(slots)
+    return time.perf_counter() - start, result, bus
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=800)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="timed rounds per mode (best-of)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max fractional wall-clock overhead")
+    parser.add_argument("--out-dir", default="results/ci")
+    args = parser.parse_args(argv)
+
+    # Best-of-N on both sides to damp scheduler/CI-runner noise.
+    disabled = min(timed_run(args.slots, args.seed, False)[0]
+                   for _ in range(args.rounds))
+    enabled_runs = [timed_run(args.slots, args.seed, True)
+                    for _ in range(args.rounds)]
+    enabled = min(wall for wall, __, __ in enabled_runs)
+    __, result, bus = enabled_runs[-1]
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    from repro.obs.export import write_chrome_trace, write_metrics_json
+    write_chrome_trace(out_dir / "trace.json", bus.events)
+    write_metrics_json(out_dir / "telemetry.json", result.telemetry)
+
+    overhead = enabled / max(disabled, 1e-9) - 1.0
+    report = {
+        "slots": args.slots,
+        "bus_disabled_wall_s": round(disabled, 3),
+        "bus_enabled_wall_s": round(enabled, 3),
+        "overhead_fraction": round(overhead, 4),
+        "threshold": args.threshold,
+        "events_recorded": len(bus.events),
+        "events_dropped": bus.dropped,
+    }
+    (out_dir / "overhead.json").write_text(json.dumps(report, indent=2)
+                                           + "\n")
+    print(f"bus off: {disabled:.2f}s | bus on: {enabled:.2f}s | "
+          f"overhead {overhead * 100:+.1f}% "
+          f"(budget {args.threshold * 100:.0f}%) | "
+          f"{len(bus.events)} events -> {out_dir / 'trace.json'}")
+    if overhead > args.threshold:
+        print("FAIL: observability overhead exceeds budget",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

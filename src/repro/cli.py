@@ -8,6 +8,12 @@ Commands:
   ``--no-cache``, ``--cache-dir``);
 * ``train``   — run the offline phase and report the fitted models;
 * ``figure``  — regenerate one of the paper's tables/figures;
+* ``trace``   — run one simulation with the event bus on and export a
+  Chrome ``trace_event`` JSON (chrome://tracing / Perfetto) plus flat
+  metric dumps;
+* ``postmortem`` — run one simulation and audit its worst slot:
+  which of wakeup latency, WCET under-prediction or cross-cell
+  queueing dominated the (near-)miss;
 * ``list``    — enumerate available policies, workloads and figures.
 """
 
@@ -138,6 +144,38 @@ def build_parser() -> argparse.ArgumentParser:
     figure_cmd = sub.add_parser("figure",
                                 help="regenerate a paper table/figure")
     figure_cmd.add_argument("name", choices=sorted(FIGURES))
+
+    def add_sim_options(cmd) -> None:
+        cmd.add_argument("--config", choices=sorted(CONFIGS),
+                         default="20mhz")
+        cmd.add_argument("--policy", choices=POLICIES,
+                         default="concordia-noml")
+        cmd.add_argument("--workload", choices=SCENARIOS, default="none")
+        cmd.add_argument("--load", type=float, default=0.5,
+                         help="cell load fraction in [0, 1]")
+        cmd.add_argument("--slots", type=int, default=400)
+        cmd.add_argument("--seed", type=int, default=7)
+        cmd.add_argument("--cores", type=int, default=None,
+                         help="override the pool's core count")
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="record one simulation and export a Chrome trace")
+    add_sim_options(trace_cmd)
+    trace_cmd.add_argument("--out", default="results/trace.json",
+                           help="Chrome trace_event output path")
+    trace_cmd.add_argument("--metrics-out", default=None,
+                           help="also dump the telemetry registry "
+                                "(.json or .csv, by extension)")
+
+    pm_cmd = sub.add_parser(
+        "postmortem",
+        help="audit the worst slot of one recorded simulation")
+    add_sim_options(pm_cmd)
+    pm_cmd.add_argument("--dag", type=int, default=None,
+                        help="audit this DAG id instead of the worst")
+    pm_cmd.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
 
     sub.add_parser("list", help="list policies, workloads and figures")
     return parser
@@ -316,6 +354,75 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _recorded_simulation(args):
+    """Run one simulation with the event bus enabled; returns
+    (result, bus)."""
+    from .obs.events import EventBus
+    from .sim.runner import Simulation
+
+    factory = CONFIGS[args.config]
+    config = factory() if args.cores is None else \
+        factory(num_cores=args.cores)
+    policy = make_policy(args.policy, config)
+    bus = EventBus()
+    simulation = Simulation(config, policy, workload=args.workload,
+                            load_fraction=args.load, seed=args.seed,
+                            event_bus=bus)
+    result = simulation.run(args.slots)
+    return result, bus
+
+
+def _cmd_trace(args) -> int:
+    import os
+
+    from .obs.export import (write_chrome_trace, write_metrics_csv,
+                             write_metrics_json)
+
+    result, bus = _recorded_simulation(args)
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    write_chrome_trace(args.out, bus.events)
+    print(f"{len(bus.events)} events ({bus.dropped} dropped) -> "
+          f"{args.out}")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    if args.metrics_out:
+        writer = write_metrics_csv if \
+            args.metrics_out.endswith(".csv") else write_metrics_json
+        writer(args.metrics_out, result.telemetry)
+        print(f"telemetry -> {args.metrics_out}")
+    latency = result.latency
+    print(f"  p99.99={latency.p9999_us:.0f}us "
+          f"miss={latency.miss_fraction:.2e} "
+          f"reclaimed={result.reclaimed_fraction * 100:.1f}%")
+    return 0
+
+
+def _cmd_postmortem(args) -> int:
+    from .obs.postmortem import analyze_miss
+
+    result, bus = _recorded_simulation(args)
+    report = analyze_miss(bus.events, dag_id=args.dag)
+    if args.json:
+        print(json.dumps({
+            "dag_id": report.dag_id,
+            "cell": report.cell,
+            "latency_us": report.latency_us,
+            "deadline_us": report.deadline_us - report.release_us,
+            "missed": report.missed,
+            "tardiness_us": report.tardiness_us,
+            "tasks": report.tasks,
+            "contributions_us": report.contributions,
+            "dominant_cause": report.dominant_cause,
+            "miss_fraction": result.latency.miss_fraction,
+        }, indent=2))
+    else:
+        print(report.render())
+        print(f"run: {result.latency.count} slots, "
+              f"miss fraction {result.latency.miss_fraction:.2e}")
+    return 0
+
+
 def _cmd_list(args) -> int:
     print("policies: ", ", ".join(POLICIES))
     print("workloads:", ", ".join(SCENARIOS))
@@ -331,6 +438,8 @@ def main(argv: Optional[list] = None) -> int:
         "sweep": _cmd_sweep,
         "train": _cmd_train,
         "figure": _cmd_figure,
+        "trace": _cmd_trace,
+        "postmortem": _cmd_postmortem,
         "list": _cmd_list,
     }
     try:

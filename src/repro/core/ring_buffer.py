@@ -42,7 +42,14 @@ class RingBuffer:
         return self._size == self._capacity
 
     def push(self, value: float) -> None:
-        """Append ``value``, evicting the oldest sample when full."""
+        """Append ``value``, evicting the oldest sample when full.
+
+        NaN is rejected: a stored NaN would silently poison the cached
+        maximum (every comparison against NaN is False, so it neither
+        becomes the max nor triggers the eviction recompute correctly).
+        """
+        if value != value:  # NaN check without importing math
+            raise ValueError("cannot push NaN into a ring buffer")
         evicting = self._size == self._capacity
         evicted = self._data[self._head] if evicting else None
         self._data[self._head] = value

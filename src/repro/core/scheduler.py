@@ -30,8 +30,11 @@ from __future__ import annotations
 
 import math
 import time
+from collections import deque
 from typing import Optional
 
+from ..obs.events import REC_TICK
+from ..obs.registry import MetricsRegistry
 from ..ran.dag import DagInstance
 from ..ran.tasks import TaskInstance
 from ..sim.policy import SchedulerPolicy
@@ -92,13 +95,22 @@ class ConcordiaScheduler(SchedulerPolicy):
         #: re-acquire every core every slot, thrashing the caches the
         #: proactive design is meant to keep warm (§6.2 / Fig. 9 & 10).
         self.release_hold_us = release_hold_us
-        self._demand_window: list[tuple[float, int]] = []
+        # Aged with popleft() on the 20 µs tick; a plain list's pop(0)
+        # is O(n) and showed up in the Fig. 15a profiles.
+        self._demand_window: deque[tuple[float, int]] = deque()
         self._states: dict[int, _DagState] = {}
-        # Wall-clock overhead accounting (Fig. 15a).
-        self.prediction_wall_s = 0.0
-        self.prediction_calls = 0
-        self.scheduling_wall_s = 0.0
-        self.scheduling_calls = 0
+        # Wall-clock overhead accounting (Fig. 15a) lives in a metrics
+        # registry so results can export it; the instruments are bound
+        # once and bumped via .value on the hot path.
+        self.obs_registry = MetricsRegistry()
+        self._prediction_wall = self.obs_registry.counter(
+            "scheduler/prediction_wall_s")
+        self._prediction_calls = self.obs_registry.counter(
+            "scheduler/prediction_calls")
+        self._scheduling_wall = self.obs_registry.counter(
+            "scheduler/scheduling_wall_s")
+        self._scheduling_calls = self.obs_registry.counter(
+            "scheduler/scheduling_calls")
 
     # -- predictions -------------------------------------------------------------
 
@@ -139,9 +151,9 @@ class ConcordiaScheduler(SchedulerPolicy):
             state.critical_path_us = critical
             state.computed_at = now
             self._states[dag.dag_id] = state
-        self.prediction_wall_s += time.perf_counter() - start
-        self.prediction_calls += 1
-        self._reschedule(now)
+        self._prediction_wall.value += time.perf_counter() - start
+        self._prediction_calls.value += 1
+        self._reschedule(now, kind="slot_start")
 
     def on_task_enqueued(self, task: TaskInstance) -> None:
         state = self._states.get(task.dag.dag_id)
@@ -183,7 +195,7 @@ class ConcordiaScheduler(SchedulerPolicy):
 
     # -- the scheduling decision ---------------------------------------------------
 
-    def _reschedule(self, now: float) -> None:
+    def _reschedule(self, now: float, kind: str = "tick") -> None:
         pool = self.pool
         start = time.perf_counter()
         heavy_cores = 0
@@ -207,11 +219,19 @@ class ConcordiaScheduler(SchedulerPolicy):
                 # Light DAG: sequentially feasible; packed by utilization.
                 state.util_ratchet = max(state.util_ratchet,
                                          work / max(slack, 1e-9))
-            heavy_cores += state.cores_ratchet
-            light_utilization += state.util_ratchet
+            # A DAG holds ONE reservation: the larger of its ratchets.
+            # Summing both double-counts a DAG that transitioned
+            # heavy->light (the held dedicated cores already cover the
+            # light phase), inflating reservations and under-reporting
+            # reclaimed CPU in Fig. 8a.
+            if state.cores_ratchet > math.ceil(state.util_ratchet):
+                heavy_cores += state.cores_ratchet
+            else:
+                light_utilization += state.util_ratchet
         if critical:
             target = pool.num_cores
             self._demand_window.clear()
+            demand_cores = pool.num_cores
         else:
             demand_cores = heavy_cores + math.ceil(light_utilization)
             demand_cores = self._held_demand(now, demand_cores)
@@ -219,8 +239,12 @@ class ConcordiaScheduler(SchedulerPolicy):
             overdue = pool.overdue_waking(self.wakeup_overdue_us)
             target = min(pool.num_cores,
                          max(demand_cores + overdue, self.min_standby_cores))
-        self.scheduling_wall_s += time.perf_counter() - start
-        self.scheduling_calls += 1
+        self._scheduling_wall.value += time.perf_counter() - start
+        self._scheduling_calls.value += 1
+        bus = pool.event_bus
+        if bus is not None and bus.enabled:
+            bus.record(REC_TICK, now, kind, demand_cores, target,
+                       len(self._states), critical)
         pool.request_cores(target)
 
     def _held_demand(self, now: float, demand: int) -> int:
@@ -233,10 +257,26 @@ class ConcordiaScheduler(SchedulerPolicy):
         window.append((now, demand))
         cutoff = now - self.release_hold_us
         while window and window[0][0] < cutoff:
-            window.pop(0)
+            window.popleft()
         return max(d for _, d in window)
 
     # -- overhead reporting -------------------------------------------------------------
+
+    @property
+    def prediction_wall_s(self) -> float:
+        return self._prediction_wall.value
+
+    @property
+    def prediction_calls(self) -> int:
+        return self._prediction_calls.value
+
+    @property
+    def scheduling_wall_s(self) -> float:
+        return self._scheduling_wall.value
+
+    @property
+    def scheduling_calls(self) -> int:
+        return self._scheduling_calls.value
 
     @property
     def mean_prediction_us(self) -> float:

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+from ..obs.events import CacheEvent, global_bus
 from .cache import ResultCache, activated_cache, active_cache
 from .fingerprint import model_fingerprint
 from .spec import SimSpec, pool_config_from_dict, spec_key
@@ -190,6 +191,7 @@ def run_batch(
         })
 
     pending: List[_Pending] = []
+    bus = global_bus()
     for index, spec in enumerate(specs):
         key = spec_key(spec, fingerprint)
         artifact = cache.get(key) if cache is not None else None
@@ -198,8 +200,14 @@ def run_batch(
             outcomes[index] = JobOutcome(index=index, spec=spec, key=key,
                                          status="cached", attempts=0,
                                          result=artifact["result"])
+            if bus.enabled:
+                bus.emit(CacheEvent(ts_us=bus.now(), kind="cache_hit",
+                                    key=key, label=spec.label()))
             emit("cached", outcomes[index])
         else:
+            if bus.enabled:
+                bus.emit(CacheEvent(ts_us=bus.now(), kind="cache_miss",
+                                    key=key, label=spec.label()))
             pending.append(_Pending(index=index, spec=spec, key=key))
 
     retried = 0

@@ -216,7 +216,8 @@ def _apply_test_hooks(spec: SimSpec, attempt: int) -> None:
         time.sleep(float(sleep_s))
 
 
-def execute_spec(spec: SimSpec, attempt: int = 0) -> dict:
+def execute_spec(spec: SimSpec, attempt: int = 0,
+                 event_bus=None) -> dict:
     """Run one spec to completion; returns the JSON-able result payload.
 
     Hermetic: the predictor (when the policy needs one) is trained —
@@ -224,6 +225,11 @@ def execute_spec(spec: SimSpec, attempt: int = 0) -> dict:
     ``(config, training_seed, training_slots)`` and then deep-copied,
     so this simulation's online learning never leaks into another
     run.  The result is therefore a pure function of the spec.
+
+    ``event_bus`` (a ``repro.obs.events.EventBus``) records the run's
+    structured events for tracing/post-mortems.  It does not affect
+    the result payload, so cached and live results stay identical;
+    the registry *telemetry* snapshot always rides in the payload.
     """
     # Imported lazily: experiments.common imports this module.
     from ..experiments.common import get_predictor, make_policy
@@ -244,6 +250,7 @@ def execute_spec(spec: SimSpec, attempt: int = 0) -> dict:
         sim_kwargs["mix_interval_us"] = tuple(sim_kwargs["mix_interval_us"])
     simulation = Simulation(config, policy, workload=spec.workload,
                             load_fraction=spec.load_fraction,
-                            seed=spec.seed, **sim_kwargs)
+                            seed=spec.seed, event_bus=event_bus,
+                            **sim_kwargs)
     result = simulation.run(spec.num_slots)
     return result.to_dict()

@@ -29,16 +29,16 @@ def run(num_slots: int = None, load_fraction: float = 0.5,
     results = {}
     for policy in ("flexran", "concordia"):
         for workload in ("none", "redis"):
-            # use_cache=False: reads raw wakeup samples off
-            # result.metrics, which cached results don't carry.
+            # Everything this figure needs rides in the telemetry
+            # registry snapshot, so cached sweep results work too.
             result = run_simulation(config, policy, workload=workload,
                                     load_fraction=load_fraction,
-                                    num_slots=num_slots, seed=seed,
-                                    use_cache=False)
+                                    num_slots=num_slots, seed=seed)
+            counters = result.telemetry.get("counters", {})
             results[(policy, workload)] = {
                 "histogram": result.wakeup_histogram,
                 "total_events": result.scheduling_events,
-                "wakeups": len(result.metrics.wakeup_latencies),
+                "wakeups": counters.get("sched/wakeups", 0),
             }
     results["event_ratio"] = (
         results[("flexran", "redis")]["total_events"]

@@ -33,10 +33,17 @@ def run_overhead(num_slots: int = None, seed: int = 7,
         from ..sim.runner import Simulation
         simulation = Simulation(config, policy, workload="none",
                                 load_fraction=0.6, seed=seed)
-        simulation.run(num_slots)
+        result = simulation.run(num_slots)
+        # Read the overhead counters back through the telemetry
+        # snapshot (the same numbers a cached result would carry).
+        counters = result.telemetry["counters"]
+        decisions = max(1, counters["scheduler/scheduling_calls"])
+        predictions = max(1, counters["scheduler/prediction_calls"])
         results[num_cells] = {
-            "scheduler_us": policy.mean_scheduling_us,
-            "predictor_us": policy.mean_prediction_us,
+            "scheduler_us": counters["scheduler/scheduling_wall_s"]
+            / decisions * 1e6,
+            "predictor_us": counters["scheduler/prediction_wall_s"]
+            / predictions * 1e6,
         }
     return results
 

@@ -1,0 +1,206 @@
+"""Exporters: Chrome ``trace_event`` JSON and flat metric dumps.
+
+The Chrome trace format (one JSON object with a ``traceEvents`` list)
+loads directly in ``chrome://tracing`` and Perfetto.  We lay the
+simulation out as two processes:
+
+* **pid 1 — "cores"**: one track (tid) per pool core.  Task executions
+  are matched ``B``/``E`` duration pairs; wakeup signals are instant
+  events on the core's track; the pool-wide reserved-core count is a
+  ``C`` counter series.
+* **pid 2 — "dags"**: one track per DAG (slot), carrying the DAG's
+  release→completion span plus instant markers for task enqueues, so a
+  missed slot's queueing is visible at a glance.
+
+A task's ``B``/``E`` pair and its enqueue instant are all synthesized
+from the single ``task_done`` event the pool records at completion
+(``start_us``/``enqueue_us`` fields) — the bus keeps one record per
+task for overhead reasons, the trace still shows the full lifecycle.
+
+Only events from a :class:`repro.obs.events.EventBus` are consumed —
+the exporter is a pure function of the recorded event list, so it
+works identically on live buses and on replayed/filtered ones.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable, Optional
+
+from .events import CoreEvent, TaskEvent, WakeupEvent
+from .registry import MetricsRegistry
+
+__all__ = [
+    "chrome_trace",
+    "metrics_rows",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+]
+
+_PID_CORES = 1
+_PID_DAGS = 2
+
+
+def _meta(pid: int, tid: Optional[int], name: str, what: str) -> dict:
+    event = {"ph": "M", "name": what, "pid": pid,
+             "args": {"name": name}}
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def chrome_trace(events: Iterable) -> dict:
+    """Render recorded events as a Chrome ``trace_event`` document.
+
+    Durations use matched ``B``/``E`` pairs; a task that never finished
+    (simulation ended mid-flight) is dropped rather than left open, so
+    every ``B`` has its ``E``.
+    """
+    trace: list = []
+    cores_seen: set = set()
+    dags_seen: set = set()
+    open_dags: dict = {}  # dag_id -> B event index
+
+    # Input order only matters for B/E index matching (a DAG's release
+    # must be seen before its completion); sort by ts to accept
+    # arbitrarily ordered/filtered event lists.
+    for event in sorted(events, key=lambda e: e.ts_us):
+        ts = event.ts_us
+        if isinstance(event, TaskEvent):
+            dag_tid = event.dag_id
+            if event.kind == "dag_release":
+                dags_seen.add(dag_tid)
+                open_dags[event.dag_id] = len(trace)
+                trace.append({
+                    "name": f"dag {event.dag_id} ({event.cell} "
+                            f"slot {event.task_id})",
+                    "cat": "dag", "ph": "B", "ts": ts,
+                    "pid": _PID_DAGS, "tid": dag_tid,
+                    "args": {"deadline_us": event.deadline_us},
+                })
+            elif event.kind == "dag_complete":
+                start = open_dags.pop(event.dag_id, None)
+                if start is not None:
+                    trace.append({
+                        "name": trace[start]["name"],
+                        "cat": "dag", "ph": "E", "ts": ts,
+                        "pid": _PID_DAGS, "tid": dag_tid,
+                        "args": {"latency_us": event.runtime_us,
+                                 "missed": bool(
+                                     event.deadline_us
+                                     and ts > event.deadline_us)},
+                    })
+            elif event.kind == "task_done":
+                # One recorded event, three trace entries: the enqueue
+                # instant on the DAG track plus the B/E execution pair
+                # on the core track (the final sort restores ts order).
+                dags_seen.add(dag_tid)
+                cores_seen.add(event.core)
+                name = f"{event.task_type}@dag{event.dag_id}"
+                trace.append({
+                    "name": f"enqueue {event.task_type}",
+                    "cat": "queue", "ph": "i", "s": "t",
+                    "ts": event.enqueue_us,
+                    "pid": _PID_DAGS, "tid": dag_tid,
+                    "args": {"task_id": event.task_id},
+                })
+                trace.append({
+                    "name": name, "cat": "task", "ph": "B",
+                    "ts": event.start_us,
+                    "pid": _PID_CORES, "tid": event.core,
+                    "args": {"cell": event.cell,
+                             "predicted_us": event.predicted_us},
+                })
+                trace.append({
+                    "name": name, "cat": "task", "ph": "E", "ts": ts,
+                    "pid": _PID_CORES, "tid": event.core,
+                    "args": {"runtime_us": event.runtime_us,
+                             "predicted_us": event.predicted_us},
+                })
+        elif isinstance(event, WakeupEvent):
+            if event.kind != "wakeup":
+                continue  # raw OS-model samples duplicate pool signals
+            cores_seen.add(event.core)
+            trace.append({
+                "name": "wakeup", "cat": "sched", "ph": "i", "s": "t",
+                "ts": ts, "pid": _PID_CORES, "tid": event.core,
+                "args": {"latency_us": event.latency_us,
+                         "preempted": event.preempted},
+            })
+        elif isinstance(event, CoreEvent):
+            if event.kind == "core_rotate":
+                continue
+            trace.append({
+                "name": "reserved cores", "cat": "sched", "ph": "C",
+                "ts": ts, "pid": _PID_CORES, "tid": 0,
+                "args": {"reserved": event.reserved},
+            })
+
+    # Prune unmatched B entries (DAGs still in flight at simulation
+    # end) before sorting — the indices refer to insertion order.
+    for index in sorted(open_dags.values(), reverse=True):
+        del trace[index]
+    # Entries are generated out of timestamp order (a task_done event
+    # expands into entries at enqueue/start/finish time), so restore a
+    # valid per-track stack order: ties break E-before-B so that
+    # back-to-back tasks on one core nest correctly.
+    trace.sort(key=lambda e: (e["ts"], 0 if e["ph"] == "E" else 1))
+
+    meta = [_meta(_PID_CORES, None, "cores", "process_name"),
+            _meta(_PID_DAGS, None, "dags", "process_name")]
+    for core in sorted(cores_seen):
+        meta.append(_meta(_PID_CORES, core, f"core {core}",
+                          "thread_name"))
+    for dag in sorted(dags_seen):
+        meta.append(_meta(_PID_DAGS, dag, f"dag {dag}", "thread_name"))
+    return {"traceEvents": meta + trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, events: Iterable) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(events), handle)
+
+
+# -- metric dumps ------------------------------------------------------------------
+
+
+def metrics_rows(telemetry) -> list:
+    """Flatten a registry (or its snapshot) into ``(name, value)`` rows.
+
+    Histograms expand into ``name{bucket}`` rows plus ``name.count`` /
+    ``name.sum`` / ``name.max`` aggregates.
+    """
+    payload = telemetry.as_dict() if isinstance(telemetry,
+                                                MetricsRegistry) \
+        else telemetry
+    rows = []
+    for name, value in payload.get("counters", {}).items():
+        rows.append((name, value))
+    for name, value in payload.get("gauges", {}).items():
+        rows.append((name, value))
+    for name, data in payload.get("histograms", {}).items():
+        registry = MetricsRegistry.from_dict({"histograms": {name: data}})
+        histogram = registry.get(name)
+        for label, count in histogram.labelled_counts().items():
+            rows.append((f"{name}{{{label}}}", count))
+        rows.append((f"{name}.count", data["count"]))
+        rows.append((f"{name}.sum", data["sum"]))
+        rows.append((f"{name}.max", data["max"]))
+    return rows
+
+
+def write_metrics_json(path, telemetry) -> None:
+    payload = telemetry.as_dict() if isinstance(telemetry,
+                                                MetricsRegistry) \
+        else telemetry
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+
+
+def write_metrics_csv(path, telemetry) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["metric", "value"])
+        writer.writerows(metrics_rows(telemetry))

@@ -9,6 +9,19 @@ Tracks everything the paper's evaluation reports:
 * busy core-time for vRAN CPU-utilization numbers (Fig. 4a, Table 3);
 * scheduling (wakeup) events and their latency histogram (Fig. 10);
 * best-effort preemption counts used by the workload models.
+
+Event counters and the wakeup-latency histogram live in a
+:class:`repro.obs.registry.MetricsRegistry` so every simulation result
+carries a JSON-able telemetry snapshot (``result.telemetry``) through
+the ``repro.exec`` cache; the legacy attribute names remain as
+properties over the registered instruments.
+
+Wakeups and best-effort preemptions are *separate* counters: every
+signalled core pays a wakeup latency, but a preemption is only
+recorded (via :meth:`Metrics.on_preemption`) when a best-effort
+occupant was actually displaced.  Counting every wakeup as a
+preemption — as an earlier revision did — inflates the Fig. 8b–d
+workload efficiency discount on pools with idle reclaimed cores.
 """
 
 from __future__ import annotations
@@ -17,6 +30,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+
+from ..obs.registry import MetricsRegistry
 
 __all__ = ["Metrics", "LatencySummary", "SCHED_LATENCY_BUCKETS_US"]
 
@@ -53,9 +68,8 @@ class Metrics:
 
     def __init__(self, num_cores: int) -> None:
         self.num_cores = num_cores
+        self.registry = MetricsRegistry()
         self.slot_latencies: list[float] = []
-        self.slot_deadlines_missed = 0
-        self.slot_count = 0
         # Core-time integrals (core-µs).
         self._reserved_cores = 0
         self._running_cores = 0
@@ -64,10 +78,17 @@ class Metrics:
         self.busy_core_time_us = 0.0
         self.start_time_us = 0.0
         self.end_time_us = 0.0
-        # Scheduling events.
+        # Scheduling events.  The instruments are bound once here; hot
+        # paths touch ``.value`` directly instead of looking up names.
         self.wakeup_latencies: list[float] = []
-        self.yield_events = 0
-        self.best_effort_preemptions = 0
+        self._slots = self.registry.counter("slots/completed")
+        self._misses = self.registry.counter("slots/missed")
+        self._wakeups = self.registry.counter("sched/wakeups")
+        self._yields = self.registry.counter("sched/yields")
+        self._preemptions = self.registry.counter(
+            "sched/best_effort_preemptions")
+        self._wakeup_hist = self.registry.histogram(
+            "sched/wakeup_latency_us", SCHED_LATENCY_BUCKETS_US)
         # Per-task records for predictor evaluation (optional, off by default).
         self.record_tasks = False
         self.task_records: list[tuple] = []
@@ -130,10 +151,18 @@ class Metrics:
     # -- slot latencies -----------------------------------------------------------
 
     def on_slot_complete(self, latency_us: float, deadline_us: float) -> None:
-        self.slot_count += 1
+        self._slots.value += 1
         self.slot_latencies.append(latency_us)
         if latency_us > deadline_us:
-            self.slot_deadlines_missed += 1
+            self._misses.value += 1
+
+    @property
+    def slot_count(self) -> int:
+        return self._slots.value
+
+    @property
+    def slot_deadlines_missed(self) -> int:
+        return self._misses.value
 
     def latency_summary(self, deadline_us: float) -> LatencySummary:
         if not self.slot_latencies:
@@ -154,31 +183,53 @@ class Metrics:
     # -- scheduling events --------------------------------------------------------
 
     def on_wakeup(self, latency_us: float) -> None:
+        """A yielded core was signalled; it comes up ``latency_us`` later.
+
+        This is *not* a preemption: the woken core may have been idle.
+        The pool reports :meth:`on_preemption` separately when a
+        best-effort occupant was actually displaced.
+        """
         self.wakeup_latencies.append(latency_us)
-        self.best_effort_preemptions += 1
+        self._wakeups.value += 1
+        self._wakeup_hist.observe(latency_us)
+
+    def on_preemption(self) -> None:
+        """A wakeup displaced an actual best-effort occupant."""
+        self._preemptions.value += 1
 
     def on_yield(self) -> None:
-        self.yield_events += 1
+        self._yields.value += 1
+
+    @property
+    def yield_events(self) -> int:
+        return self._yields.value
+
+    @property
+    def best_effort_preemptions(self) -> int:
+        return self._preemptions.value
 
     @property
     def scheduling_events(self) -> int:
-        return len(self.wakeup_latencies) + self.yield_events
+        return self._wakeups.value + self._yields.value
 
     def wakeup_histogram(self) -> dict[str, int]:
         """Fig. 10-style histogram of wakeup latencies."""
-        counts = {}
-        edges = (0.0,) + SCHED_LATENCY_BUCKETS_US
-        labels = []
-        for lo, hi in zip(edges[:-1], edges[1:]):
-            if hi == float("inf"):
-                labels.append(f">{int(lo)}")
-            else:
-                labels.append(f"{int(lo)}-{int(hi)}")
-        arr = np.asarray(self.wakeup_latencies) if self.wakeup_latencies else \
-            np.empty(0)
-        for label, lo, hi in zip(labels, edges[:-1], edges[1:]):
-            counts[label] = int(((arr >= lo) & (arr < hi)).sum())
-        return counts
+        return self._wakeup_hist.labelled_counts()
+
+    # -- telemetry snapshot -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Registry snapshot plus the core-time integral gauges.
+
+        This is the ``telemetry`` dict attached to simulation results;
+        it is pure JSON and survives the ``repro.exec`` cache.
+        """
+        self.registry.gauge("coretime/reserved_us").set(
+            self.reserved_core_time_us)
+        self.registry.gauge("coretime/busy_us").set(self.busy_core_time_us)
+        self.registry.gauge("coretime/duration_us").set(self.duration_us)
+        self.registry.gauge("coretime/num_cores").set(self.num_cores)
+        return self.registry.as_dict()
 
     # -- per-task records ----------------------------------------------------------
 

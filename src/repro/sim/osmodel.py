@@ -66,6 +66,10 @@ class WakeupLatencyModel:
         self.rng = FastRng(rng if rng is not None else np.random.default_rng(11))
         self._isolated = self._normalize(isolated_buckets)
         self._collocated = self._normalize(collocated_buckets)
+        #: Optional repro.obs.events.EventBus; the pool attaches its bus
+        #: here so raw latency samples can be audited independently of
+        #: the pool-level wakeup events.
+        self.event_bus = None
 
     @staticmethod
     def _normalize(
@@ -83,7 +87,13 @@ class WakeupLatencyModel:
         index = int(np.searchsorted(cumulative, self.rng.random(),
                                     side="right"))
         bucket = buckets[min(index, len(buckets) - 1)]
-        return self.rng.uniform(bucket.low_us, bucket.high_us)
+        latency = self.rng.uniform(bucket.low_us, bucket.high_us)
+        bus = self.event_bus
+        if bus is not None and bus.enabled:
+            from ..obs.events import REC_WAKEUP
+            bus.record(REC_WAKEUP, bus.now(), "wakeup_sample", latency,
+                       -1, collocated, False)
+        return latency
 
     def expected_body_us(self, collocated: bool) -> float:
         """Mean latency excluding the rare kernel-stall component.

@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.events import REC_CORE, REC_TASK, REC_WAKEUP
 from ..ran.config import PoolConfig
 from ..ran.dag import DagInstance
 from ..ran.tasks import CostModel, TaskInstance
@@ -71,6 +72,7 @@ class VranPool:
         cache_model: Optional[CacheInterferenceModel] = None,
         metrics: Optional[Metrics] = None,
         rng: Optional[np.random.Generator] = None,
+        event_bus=None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -97,6 +99,19 @@ class VranPool:
         self.active_dags: list[DagInstance] = []
         self._rotation_offset = 0
         self._available_listener = None  # WorkloadHost hook
+        #: Optional repro.obs.events.EventBus; None (the default) keeps
+        #: the hot paths at a single pointer comparison per event site.
+        self.event_bus = event_bus
+        if event_bus is not None:
+            event_bus.clock = lambda: engine.now
+            os_model = self.os_model
+            if getattr(os_model, "event_bus", None) is None:
+                os_model.event_bus = event_bus
+        #: Callable answering "is a best-effort occupant on the yielded
+        #: cores right now?" — set by the simulation harness so wakeups
+        #: that displace real work count as preemptions while wakeups of
+        #: idle cores do not.
+        self._occupancy_provider = None
         #: Optional callback fired with each completed TaskInstance
         #: (used by offline profiling to collect training datasets).
         self.task_observer = None
@@ -179,10 +194,23 @@ class VranPool:
         self._available_listener = listener
         listener(self.now, self.num_cores - self.reserved_count)
 
+    def set_best_effort_occupancy(self, provider) -> None:
+        """Register ``provider() -> bool``: is best-effort work actually
+        occupying the yielded cores?  Without a provider no best-effort
+        workloads are modelled, so no wakeup counts as a preemption."""
+        self._occupancy_provider = provider
+
     # -- DAG lifecycle --------------------------------------------------------
 
     def release_slot(self, dags: list[DagInstance]) -> None:
         """Release the DAGs of a new slot into the pool."""
+        bus = self.event_bus
+        if bus is not None and bus.enabled:
+            for dag in dags:
+                # task_id carries the slot index on dag_* events.
+                bus.record(REC_TASK, self.now, "dag_release", dag.dag_id,
+                           dag.slot_index, "", dag.cell_name, -1, 0.0,
+                           None, dag.deadline_us)
         self.policy.on_slot_start(dags, self.now)
         for dag in dags:
             self.active_dags.append(dag)
@@ -191,6 +219,9 @@ class VranPool:
         self._dispatch()
 
     def _enqueue(self, task: TaskInstance) -> None:
+        # No event here: the task's single "task_done" record (emitted
+        # at completion) carries enqueue_time, so the hot path stays at
+        # one record per task.
         task.enqueue_time = self.now
         if self.accelerator is not None and \
                 task.task_type in self.accelerator.offloaded_types:
@@ -255,7 +286,7 @@ class VranPool:
         worker.current_task = None
         worker.state = WorkerState.SPINNING
         self._running -= 1
-        self._complete_task(task, now)
+        self._complete_task(task, now, core=worker.core_id)
         self.metrics.on_running_change(now, self.running_count)
         self.policy.on_task_finished(task)
         self._dispatch()
@@ -274,15 +305,30 @@ class VranPool:
         self._dispatch()
         self._apply_target()
 
-    def _complete_task(self, task: TaskInstance, now: float) -> None:
+    def _complete_task(self, task: TaskInstance, now: float,
+                       core: int = -1) -> None:
         task.finish_time = now
         dag = task.dag
         dag.tasks_remaining -= 1
         self.metrics.on_task_complete(
             task.task_type.value, task.predicted_wcet_us, task.runtime_us
         )
+        bus = self.event_bus
+        if bus is not None and bus.enabled:
+            # One record per task, at finish: enqueue/start/finish as
+            # three events tripled the hottest emission rate and blew
+            # the CI overhead budget.  core is -1 for offloaded tasks.
+            bus.record(REC_TASK, now, "task_done", dag.dag_id,
+                       task.task_id, task.task_type.value,
+                       task.cell_name, core, task.runtime_us,
+                       task.predicted_wcet_us, 0.0,
+                       task.enqueue_time, task.start_time)
         if dag.tasks_remaining == 0:
             dag.completion_us = now
+            if bus is not None and bus.enabled:
+                bus.record(REC_TASK, now, "dag_complete", dag.dag_id,
+                           dag.slot_index, "", dag.cell_name, -1,
+                           dag.latency_us, None, dag.deadline_us)
             self.metrics.on_slot_complete(
                 dag.latency_us, dag.deadline_us - dag.release_us
             )
@@ -340,8 +386,21 @@ class VranPool:
         worker.wake_signaled_at = self.now
         latency = self.os_model.sample(self.collocation_active)
         self.metrics.on_wakeup(latency)
+        # A wakeup is only a *preemption* when a best-effort occupant is
+        # actually displaced from the reclaimed cores.
+        preempted = (self._occupancy_provider is not None
+                     and self._occupancy_provider())
+        if preempted:
+            self.metrics.on_preemption()
         self.cache_model.record_scheduling_event(self.now)
         self.metrics.on_reserved_change(self.now, self.reserved_count)
+        bus = self.event_bus
+        if bus is not None and bus.enabled:
+            bus.record(REC_WAKEUP, self.now, "wakeup", latency,
+                       worker.core_id, self.collocation_active, preempted)
+            bus.record(REC_CORE, self.now, "core_reserve",
+                       worker.core_id, self.reserved_count,
+                       self.target_cores)
         self._notify_available()
         worker.wake_event = self.engine.schedule_after(
             latency, lambda: self._awake(worker)
@@ -373,6 +432,11 @@ class VranPool:
         self.metrics.on_yield()
         self.cache_model.record_scheduling_event(self.now)
         self.metrics.on_reserved_change(self.now, self.reserved_count)
+        bus = self.event_bus
+        if bus is not None and bus.enabled:
+            bus.record(REC_CORE, self.now, "core_release",
+                       worker.core_id, self.reserved_count,
+                       self.target_cores)
         self._notify_available()
 
     def _notify_available(self) -> None:
@@ -397,4 +461,9 @@ class VranPool:
         workers = self.workers
         n = self.num_cores
         self._order = [workers[(i + offset) % n] for i in range(n)]
+        bus = self.event_bus
+        if bus is not None and bus.enabled:
+            bus.record(REC_CORE, self.now, "core_rotate",
+                       self._order[0].core_id, self.reserved_count,
+                       self.target_cores)
         self.engine.schedule_after(self.config.core_rotation_us, self._rotate)

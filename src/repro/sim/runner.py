@@ -61,6 +61,11 @@ class SimulationResult:
     pool: VranPool = field(repr=False)
     #: HARQ statistics (only when the simulation ran with harq=True).
     harq: Optional[dict] = None
+    #: JSON-able registry snapshot (repro.obs): event counters, the
+    #: wakeup-latency histogram, core-time gauges and scheduler
+    #: overhead counters.  Unlike ``metrics``/``pool`` this survives
+    #: the repro.exec result cache.
+    telemetry: dict = field(default_factory=dict, repr=False)
 
     @property
     def meets_five_nines(self) -> bool:
@@ -104,6 +109,7 @@ class SimulationResult:
             "preemptions_per_core_ms": self.preemptions_per_core_ms,
             "mean_stall_increase": self.mean_stall_increase,
             "harq": self.harq,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -131,6 +137,7 @@ class SimulationResult:
             metrics=None,
             pool=None,
             harq=payload["harq"],
+            telemetry=dict(payload.get("telemetry", {})),
         )
 
 
@@ -149,6 +156,7 @@ class Simulation:
         record_tasks: bool = False,
         allocation_mode: str = "iid",
         harq: bool = False,
+        event_bus=None,
     ) -> None:
         if allocation_mode not in ("iid", "mac"):
             raise ValueError("allocation_mode must be 'iid' or 'mac'")
@@ -172,6 +180,7 @@ class Simulation:
         self.metrics = Metrics(pool_config.num_cores)
         self.metrics.record_tasks = record_tasks
         cache_model = CacheInterferenceModel(rng=self._rng_cache)
+        self.event_bus = event_bus
         self.pool = VranPool(
             engine=self.engine,
             config=pool_config,
@@ -180,10 +189,12 @@ class Simulation:
             os_model=WakeupLatencyModel(rng=self._rng_os),
             cache_model=cache_model,
             metrics=self.metrics,
+            event_bus=event_bus,
         )
         self.host = WorkloadHost(make_workload(workload),
                                  cache_model=cache_model)
         self.pool.set_available_listener(self.host.on_available_change)
+        self.pool.set_best_effort_occupancy(self.host.has_active_occupant)
         if workload == "mix":
             MixController(
                 self.engine, self.host,
@@ -338,7 +349,24 @@ class Simulation:
             metrics=self.metrics,
             pool=self.pool,
             harq=self._harq_stats(),
+            telemetry=self._telemetry(),
         )
+
+    def _telemetry(self) -> dict:
+        """Merge the Metrics registry with the policy's own registry.
+
+        Policies without an ``obs_registry`` (the baselines) contribute
+        nothing; name spaces are disjoint ("scheduler/" vs "sched/",
+        "slots/", "coretime/") so a plain dict merge suffices.
+        """
+        telemetry = self.metrics.snapshot()
+        policy_registry = getattr(self.policy, "obs_registry", None)
+        if policy_registry is not None:
+            extra = policy_registry.as_dict()
+            for section in ("counters", "gauges", "histograms"):
+                telemetry.setdefault(section, {}).update(
+                    extra.get(section, {}))
+        return telemetry
 
     def _harq_stats(self) -> Optional[dict]:
         if not self._harq:

@@ -110,6 +110,15 @@ class WorkloadHost:
         self._accrue(now)
         self._available = available
 
+    def has_active_occupant(self) -> bool:
+        """Is any best-effort workload running on reclaimed cores?
+
+        The pool asks this when it signals a yielded core awake: only a
+        wakeup that displaces an actual occupant counts as a preemption
+        (``Metrics.on_preemption``); waking an idle core does not.
+        """
+        return any(w.active for w in self.workloads)
+
     def set_active(self, name: str, active: bool, now: float) -> None:
         """Toggle a workload on/off (used by the Mix scenario)."""
         self._accrue(now)

@@ -71,6 +71,44 @@ class TestCommands:
         assert code == 0
         assert "Figure 3" in capsys.readouterr().out
 
+    def test_trace_writes_chrome_trace(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code = main(["trace", "--slots", "60", "--cores", "4",
+                     "--out", str(out), "--metrics-out", str(metrics)])
+        assert code == 0
+        trace = json.loads(out.read_text())
+        assert trace["traceEvents"]
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert {"M", "B", "E"} <= phases
+        telemetry = json.loads(metrics.read_text())
+        assert telemetry["counters"]["slots/completed"] > 0
+        assert "events" in capsys.readouterr().out
+
+    def test_trace_metrics_csv(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.csv"
+        code = main(["trace", "--slots", "60", "--cores", "4",
+                     "--out", str(out), "--metrics-out", str(metrics)])
+        assert code == 0
+        lines = metrics.read_text().splitlines()
+        assert lines[0] == "metric,value"
+        assert any(line.startswith("sched/wakeups,") for line in lines)
+
+    def test_postmortem_text_and_json(self, capsys):
+        code = main(["postmortem", "--slots", "60", "--cores", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dominant" in out
+        code = main(["postmortem", "--slots", "60", "--cores", "4",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dominant_cause"] in (
+            "wakeup latency", "wcet under-prediction",
+            "queueing behind another cell")
+        assert payload["tasks"] > 0
+
 
 class TestSweep:
     SWEEP = ["sweep", "--config", "20mhz", "--policy", "flexran",

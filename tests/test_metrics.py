@@ -79,7 +79,28 @@ class TestSchedulingEvents:
         metrics.on_yield()
         metrics.on_yield()
         assert metrics.scheduling_events == 3
+        # A wakeup alone is NOT a preemption: the woken core may have
+        # been idle.  Preemptions are reported separately by the pool
+        # when a best-effort occupant is actually displaced.
+        assert metrics.best_effort_preemptions == 0
+        metrics.on_preemption()
         assert metrics.best_effort_preemptions == 1
+        assert metrics.scheduling_events == 3
+
+    def test_registry_snapshot_round_trips(self):
+        metrics = Metrics(num_cores=2)
+        metrics.on_wakeup(5.0)
+        metrics.on_slot_complete(400.0, 500.0)
+        metrics.on_slot_complete(600.0, 500.0)
+        snap = metrics.snapshot()
+        assert snap["counters"]["slots/completed"] == 2
+        assert snap["counters"]["slots/missed"] == 1
+        assert snap["counters"]["sched/wakeups"] == 1
+        assert snap["gauges"]["coretime/num_cores"] == 2
+        hist = snap["histograms"]["sched/wakeup_latency_us"]
+        assert hist["count"] == 1
+        import json
+        json.dumps(snap)  # must be pure JSON
 
     def test_task_records_opt_in(self):
         metrics = Metrics(num_cores=1)

@@ -47,6 +47,33 @@ class TestBasics:
         buf.push(2.0)  # evicts the first 5.0; a second 5.0 remains
         assert buf.max() == 5.0
 
+    def test_nan_push_rejected(self):
+        buf = RingBuffer(3)
+        buf.push(1.0)
+        with pytest.raises(ValueError, match="NaN"):
+            buf.push(float("nan"))
+        # The rejected push must not have perturbed any state.
+        assert len(buf) == 1
+        assert buf.max() == 1.0
+        buf.push(2.0)
+        assert buf.max() == 2.0
+
+    def test_nan_rejected_via_extend_and_replace(self):
+        buf = RingBuffer(4)
+        with pytest.raises(ValueError, match="NaN"):
+            buf.extend([1.0, float("nan"), 3.0])
+        # extend pushes in order: the values before the NaN landed.
+        assert list(buf.values()) == [1.0]
+        with pytest.raises(ValueError, match="NaN"):
+            buf.replace([np.nan])
+
+    def test_infinities_are_legal_samples(self):
+        buf = RingBuffer(2)
+        buf.extend([float("inf"), 1.0])
+        assert buf.max() == float("inf")
+        buf.push(2.0)  # evicts the inf; recompute must recover
+        assert buf.max() == 2.0
+
     def test_quantile_interpolates(self):
         buf = RingBuffer(10)
         buf.extend(range(1, 11))

@@ -87,6 +87,58 @@ class TestDagState:
             assert policy._states[dag.dag_id].work_us <= initial_work
 
 
+class TestRatchetReservation:
+    """A DAG holds ONE reservation: the larger of its two ratchets."""
+
+    def _inject(self, policy, dag, cores_ratchet, util_ratchet):
+        # Fresh DagBuilders restart dag_id at 0; key the states
+        # distinctly so two injected DAGs don't collide.
+        dag.dag_id = len(policy._states)
+        state = _DagState(dag)
+        state.work_us = 10.0
+        state.critical_path_us = 10.0
+        state.computed_at = 0.0
+        state.cores_ratchet = cores_ratchet
+        state.util_ratchet = util_ratchet
+        policy._states[dag.dag_id] = state
+        return state
+
+    def test_heavy_to_light_dag_not_double_counted(self):
+        policy = ConcordiaScheduler(predictor=None, release_hold_us=0.0)
+        engine, pool = make_pool_with(policy, num_cores=8)
+        # A DAG that was heavy earlier (3 dedicated cores ratcheted)
+        # and now runs its light tail (utilization 0.4).  The held
+        # dedicated cores already cover the tail: the target must be
+        # 3, not 3 + ceil(0.4) = 4 as the double-counting bug gave.
+        dag = make_dag(total_bytes=2000, deadline=50_000.0)
+        self._inject(policy, dag, cores_ratchet=3, util_ratchet=0.4)
+        policy._reschedule(0.0)
+        assert pool.target_cores == 3
+
+    def test_light_dags_still_pack_by_utilization(self):
+        policy = ConcordiaScheduler(predictor=None, release_hold_us=0.0)
+        engine, pool = make_pool_with(policy, num_cores=8)
+        dag_a = make_dag(total_bytes=2000, deadline=50_000.0, seed=1)
+        dag_b = make_dag(total_bytes=2000, deadline=50_000.0, seed=2)
+        self._inject(policy, dag_a, cores_ratchet=0, util_ratchet=0.6)
+        self._inject(policy, dag_b, cores_ratchet=0, util_ratchet=0.3)
+        policy._reschedule(0.0)
+        # Two light DAGs pack onto ceil(0.6 + 0.3) = 1 shared core.
+        assert pool.target_cores == 1
+
+    def test_mixed_heavy_and_light_dags(self):
+        policy = ConcordiaScheduler(predictor=None, release_hold_us=0.0)
+        engine, pool = make_pool_with(policy, num_cores=8)
+        dag_heavy = make_dag(total_bytes=2000, deadline=50_000.0, seed=3)
+        dag_light = make_dag(total_bytes=2000, deadline=50_000.0, seed=4)
+        # Transitioned DAG: dedicated cores dominate its light tail.
+        self._inject(policy, dag_heavy, cores_ratchet=2, util_ratchet=0.9)
+        self._inject(policy, dag_light, cores_ratchet=0, util_ratchet=0.5)
+        policy._reschedule(0.0)
+        # 2 dedicated + ceil(0.5) shared = 3 (bug gave 2+ceil(1.4)=4).
+        assert pool.target_cores == 3
+
+
 class TestOverheadAccounting:
     def test_prediction_and_scheduling_timers_disjoint(self):
         policy = ConcordiaScheduler(predictor=None)
