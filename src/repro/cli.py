@@ -42,19 +42,14 @@ from .experiments import (
     sensitivity,
     tables,
 )
-from .experiments.common import make_policy
-from .ran.config import pool_100mhz_2cells, pool_20mhz_7cells
+from .scenario import NAMED_POOLS, POLICY_NAMES
 from .workloads.catalog import SCENARIOS
 
 __all__ = ["main", "build_parser"]
 
-POLICIES = ("concordia", "concordia-noml", "flexran", "dedicated",
-            "shenango", "utilization", "static")
+POLICIES = POLICY_NAMES
 
-CONFIGS = {
-    "20mhz": pool_20mhz_7cells,
-    "100mhz": pool_100mhz_2cells,
-}
+CONFIGS = NAMED_POOLS
 
 FIGURES = {
     "fig1": dag_structure.main,
@@ -181,19 +176,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_run(args) -> int:
-    factory = CONFIGS[args.config]
-    config = factory() if args.cores is None else \
-        factory(num_cores=args.cores)
-    from .sim.runner import Simulation
+def _scenario_from_args(args, **overrides):
+    """Build the Scenario described by one CLI invocation.
 
-    policy = make_policy(args.policy, config)
-    simulation = Simulation(
-        config, policy, workload=args.workload,
-        load_fraction=args.load, seed=args.seed,
-        allocation_mode="mac" if args.mac else "iid",
+    The pool stays a symbolic named reference (``{"name": "20mhz"}``)
+    so a serialized result records the deployment the way the user
+    asked for it.
+    """
+    from .scenario import Scenario
+
+    pool = {"name": args.config}
+    if args.cores is not None:
+        pool["num_cores"] = args.cores
+    return Scenario(
+        pool=pool,
+        policy=args.policy,
+        workload=args.workload,
+        load_fraction=args.load,
+        seed=args.seed,
+        **overrides,
+    )
+
+
+def _cmd_run(args) -> int:
+    from .scenario import build_simulation
+
+    scenario = _scenario_from_args(
+        args,
+        allocation="mac" if args.mac else "iid",
         harq=args.harq,
     )
+    simulation = build_simulation(scenario)
     result = simulation.run(args.slots)
     latency = result.latency
     payload = {
@@ -358,16 +371,10 @@ def _recorded_simulation(args):
     """Run one simulation with the event bus enabled; returns
     (result, bus)."""
     from .obs.events import EventBus
-    from .sim.runner import Simulation
+    from .scenario import build_simulation
 
-    factory = CONFIGS[args.config]
-    config = factory() if args.cores is None else \
-        factory(num_cores=args.cores)
-    policy = make_policy(args.policy, config)
     bus = EventBus()
-    simulation = Simulation(config, policy, workload=args.workload,
-                            load_fraction=args.load, seed=args.seed,
-                            event_bus=bus)
+    simulation = build_simulation(_scenario_from_args(args), event_bus=bus)
     result = simulation.run(args.slots)
     return result, bus
 

@@ -156,6 +156,15 @@ class _Running:
     started: float = field(default_factory=time.perf_counter)
 
 
+def _result_loadable(artifact: dict) -> bool:
+    """True when the cached result payload deserializes today."""
+    from ..sim.runner import RESULT_SCHEMAS
+
+    result = artifact.get("result")
+    return (isinstance(result, dict)
+            and result.get("schema") in RESULT_SCHEMAS)
+
+
 def run_batch(
     specs: Sequence[SimSpec],
     jobs: Optional[int] = None,
@@ -195,6 +204,12 @@ def run_batch(
     for index, spec in enumerate(specs):
         key = spec_key(spec, fingerprint)
         artifact = cache.get(key) if cache is not None else None
+        if artifact is not None and not _result_loadable(artifact):
+            # Result-schema bump since the artifact was written (the
+            # spec payload hashes identically but the stored result
+            # can no longer be deserialized): treat as a miss and
+            # re-execute instead of crashing in BatchReport.results().
+            artifact = None
         if artifact is not None:
             done += 1
             outcomes[index] = JobOutcome(index=index, spec=spec, key=key,

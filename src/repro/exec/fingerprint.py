@@ -20,7 +20,8 @@ from pathlib import Path
 __all__ = ["model_fingerprint", "FINGERPRINTED_PACKAGES"]
 
 #: Sub-packages of ``repro`` whose sources define simulation results.
-FINGERPRINTED_PACKAGES = ("ran", "sim", "core", "workloads", "baselines")
+FINGERPRINTED_PACKAGES = ("ran", "sim", "core", "workloads", "baselines",
+                          "scenario")
 
 
 @lru_cache(maxsize=1)

@@ -24,7 +24,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..ran.config import CellConfig, Duplex, PoolConfig, SlotType
+from ..ran.config import PoolConfig
+
+# The pool converters now live in the scenario layer; re-exported here
+# because spec payloads and downstream callers grew around these names.
+from ..scenario.scenario import pool_config_from_dict, pool_config_to_dict
 
 __all__ = [
     "SimSpec",
@@ -43,64 +47,6 @@ SPEC_SCHEMA = 1
 
 class SpecError(ValueError):
     """A simulation call cannot be expressed as a declarative spec."""
-
-
-# -- pool configuration (de)serialization -----------------------------------------
-
-
-def pool_config_to_dict(config: PoolConfig) -> dict:
-    """Inline a :class:`PoolConfig` as a JSON-able dict."""
-    return {
-        "cells": [
-            {
-                "name": cell.name,
-                "bandwidth_mhz": cell.bandwidth_mhz,
-                "duplex": cell.duplex.value,
-                "numerology": cell.numerology,
-                "peak_dl_mbps": cell.peak_dl_mbps,
-                "peak_ul_mbps": cell.peak_ul_mbps,
-                "avg_dl_mbps": cell.avg_dl_mbps,
-                "avg_ul_mbps": cell.avg_ul_mbps,
-                "max_ues_per_slot": cell.max_ues_per_slot,
-                "num_antennas": cell.num_antennas,
-                "max_layers": cell.max_layers,
-                "tdd_pattern": "".join(s.value for s in cell.tdd_pattern),
-            }
-            for cell in config.cells
-        ],
-        "num_cores": config.num_cores,
-        "deadline_us": config.deadline_us,
-        "scheduler_tick_us": config.scheduler_tick_us,
-        "core_rotation_us": config.core_rotation_us,
-    }
-
-
-def pool_config_from_dict(payload: dict) -> PoolConfig:
-    """Rebuild a :class:`PoolConfig` from :func:`pool_config_to_dict`."""
-    cells = tuple(
-        CellConfig(
-            name=c["name"],
-            bandwidth_mhz=c["bandwidth_mhz"],
-            duplex=Duplex(c["duplex"]),
-            numerology=c["numerology"],
-            peak_dl_mbps=c["peak_dl_mbps"],
-            peak_ul_mbps=c["peak_ul_mbps"],
-            avg_dl_mbps=c["avg_dl_mbps"],
-            avg_ul_mbps=c["avg_ul_mbps"],
-            max_ues_per_slot=c["max_ues_per_slot"],
-            num_antennas=c["num_antennas"],
-            max_layers=c["max_layers"],
-            tdd_pattern=tuple(SlotType(s) for s in c["tdd_pattern"]),
-        )
-        for c in payload["cells"]
-    )
-    return PoolConfig(
-        cells=cells,
-        num_cores=payload["num_cores"],
-        deadline_us=payload["deadline_us"],
-        scheduler_tick_us=payload["scheduler_tick_us"],
-        core_rotation_us=payload["core_rotation_us"],
-    )
 
 
 # -- the spec ----------------------------------------------------------------------
@@ -216,6 +162,24 @@ def _apply_test_hooks(spec: SimSpec, attempt: int) -> None:
         time.sleep(float(sleep_s))
 
 
+def _scenario_kwargs(sim_kwargs: dict) -> dict:
+    """Map legacy ``sim_kwargs`` spec names onto Scenario fields.
+
+    Specs predate the scenario layer and carry ``Simulation``'s old
+    keyword names; existing cache keys hash those payloads, so the
+    spec schema keeps them and the translation happens here.
+    """
+    kwargs = dict(sim_kwargs)
+    if "profiling_traffic" in kwargs:
+        kwargs["traffic"] = ("profiling" if kwargs.pop("profiling_traffic")
+                             else "model")
+    if "allocation_mode" in kwargs:
+        kwargs["allocation"] = kwargs.pop("allocation_mode")
+    if "mix_interval_us" in kwargs:
+        kwargs["mix_interval_us"] = tuple(kwargs["mix_interval_us"])
+    return kwargs
+
+
 def execute_spec(spec: SimSpec, attempt: int = 0,
                  event_bus=None) -> dict:
     """Run one spec to completion; returns the JSON-able result payload.
@@ -232,25 +196,29 @@ def execute_spec(spec: SimSpec, attempt: int = 0,
     the registry *telemetry* snapshot always rides in the payload.
     """
     # Imported lazily: experiments.common imports this module.
-    from ..experiments.common import get_predictor, make_policy
-    from ..sim.runner import Simulation
+    from ..experiments.common import get_predictor
+    from ..scenario import Scenario, build_simulation
 
     _apply_test_hooks(spec, attempt)
     config = pool_config_from_dict(spec.config)
+    predictor = None
     policy_kwargs = dict(spec.policy_kwargs)
     if (spec.policy == "concordia" and "predictor" not in policy_kwargs
             and spec.training_slots is not None):
         base = get_predictor(config, seed=spec.training_seed,
                              num_slots=spec.training_slots)
-        policy_kwargs["predictor"] = copy.deepcopy(base)
-    policy = make_policy(spec.policy, config, seed=spec.training_seed,
-                         **policy_kwargs)
-    sim_kwargs = dict(spec.sim_kwargs)
-    if "mix_interval_us" in sim_kwargs:
-        sim_kwargs["mix_interval_us"] = tuple(sim_kwargs["mix_interval_us"])
-    simulation = Simulation(config, policy, workload=spec.workload,
-                            load_fraction=spec.load_fraction,
-                            seed=spec.seed, event_bus=event_bus,
-                            **sim_kwargs)
+        predictor = copy.deepcopy(base)
+    scenario = Scenario(
+        pool=config,
+        policy=spec.policy,
+        policy_params=policy_kwargs,
+        workload=spec.workload,
+        load_fraction=spec.load_fraction,
+        seed=spec.seed,
+        **_scenario_kwargs(spec.sim_kwargs),
+    )
+    simulation = build_simulation(scenario, predictor=predictor,
+                                  policy_seed=spec.training_seed,
+                                  event_bus=event_bus)
     result = simulation.run(spec.num_slots)
     return result.to_dict()

@@ -23,12 +23,7 @@ import math
 import os
 from typing import Optional, Sequence
 
-from ..baselines.flexran import DedicatedScheduler, FlexRanScheduler
-from ..baselines.shenango import ShenangoScheduler
-from ..baselines.static import StaticPartitionScheduler
-from ..baselines.utilization import UtilizationScheduler
 from ..core.predictor import ConcordiaPredictor
-from ..core.scheduler import ConcordiaScheduler
 from ..core.training import train_predictor
 from ..exec.cache import active_cache
 from ..exec.fingerprint import model_fingerprint
@@ -41,7 +36,8 @@ from ..exec.spec import (
     spec_key,
 )
 from ..ran.config import PoolConfig
-from ..sim.runner import Simulation, SimulationResult
+from ..scenario import Scenario, build_policy, build_simulation
+from ..sim.runner import SimulationResult
 
 __all__ = [
     "scaled_slots",
@@ -120,27 +116,12 @@ def get_predictor(config: PoolConfig, seed: int = 42,
 
 
 def make_policy(name: str, config: PoolConfig, seed: int = 42, **kwargs):
-    """Instantiate a scheduling policy by name."""
-    if name == "concordia":
-        predictor = kwargs.pop("predictor", None)
-        if predictor is None:
-            predictor = get_predictor(config, seed=seed)
-        return ConcordiaScheduler(predictor, **kwargs)
-    if name == "concordia-noml":
-        return ConcordiaScheduler(predictor=None, **kwargs)
-    if name == "flexran":
-        return FlexRanScheduler()
-    if name == "dedicated":
-        return DedicatedScheduler()
-    if name == "shenango":
-        return ShenangoScheduler(**kwargs)
-    if name == "static":
-        kwargs.setdefault("reserved_cores", max(1, config.num_cores // 2))
-        return StaticPartitionScheduler(**kwargs)
-    if name == "utilization":
-        kwargs.setdefault("slot_duration_us", config.slot_duration_us)
-        return UtilizationScheduler(**kwargs)
-    raise ValueError(f"unknown policy {name!r}")
+    """Instantiate a scheduling policy by name.
+
+    Thin wrapper over :func:`repro.scenario.build_policy` kept for the
+    experiment drivers; the scenario layer owns the name → class map.
+    """
+    return build_policy(name, config, seed=seed, **kwargs)
 
 
 def make_spec(
@@ -215,25 +196,40 @@ def run_simulation(
         if spec is not None:
             key = spec_key(spec, model_fingerprint())
             artifact = cache.get(key)
-            if artifact is None:
-                payload = execute_spec(spec)
-                cache.put(key, {
-                    "schema": 1,
-                    "key": key,
-                    "fingerprint": model_fingerprint(),
-                    "spec": spec.to_dict(),
-                    "result": payload,
-                    "meta": {},
-                })
-            else:
-                payload = artifact["result"]
+            if artifact is not None:
+                try:
+                    return SimulationResult.from_dict(artifact["result"])
+                except ValueError:
+                    # Result-schema bump since the artifact was written:
+                    # treat as a miss and re-execute rather than crash.
+                    artifact = None
+            payload = execute_spec(spec)
+            cache.put(key, {
+                "schema": 1,
+                "key": key,
+                "fingerprint": model_fingerprint(),
+                "spec": spec.to_dict(),
+                "result": payload,
+                "meta": {},
+            })
             return SimulationResult.from_dict(payload)
 
-    policy = make_policy(policy_name, config, seed=42,
-                         **(policy_kwargs or {}))
-    simulation = Simulation(config, policy, workload=workload,
-                            load_fraction=load_fraction, seed=seed,
-                            **sim_kwargs)
+    from ..exec.spec import _scenario_kwargs
+
+    scenario = Scenario(
+        pool=config,
+        policy=policy_name,
+        policy_params={},
+        workload=workload,
+        load_fraction=load_fraction,
+        seed=seed,
+        **_scenario_kwargs(sim_kwargs),
+    )
+    policy_kwargs = dict(policy_kwargs or {})
+    predictor = policy_kwargs.pop("predictor", None)
+    scenario.policy_params = policy_kwargs
+    simulation = build_simulation(scenario, predictor=predictor,
+                                  policy_seed=42)
     return simulation.run(num_slots)
 
 

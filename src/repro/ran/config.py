@@ -104,13 +104,20 @@ class CellConfig:
         bytes_per_us = mbps * 1e6 / 8.0 / 1e6
         per_slot = bytes_per_us * self.slot_duration_us
         if self.duplex is Duplex.TDD:
-            share = self._direction_share(uplink)
+            share = self.direction_share(uplink)
             if share > 0:
                 per_slot /= share
         return per_slot
 
-    def _direction_share(self, uplink: bool) -> float:
-        """Fraction of TDD slots carrying the given direction."""
+    def direction_share(self, uplink: bool) -> float:
+        """Fraction of TDD slots carrying the given direction.
+
+        Special slots count partially (0.3 uplink / 0.5 downlink,
+        matching the simulator's SPECIAL_SLOT_*_SCALE traffic split).
+        Callers use this to convert a direction's average rate into a
+        per-active-slot rate: for FDD every slot carries both
+        directions, so the share concept only applies to TDD patterns.
+        """
         weights = 0.0
         for slot in self.tdd_pattern:
             if slot is SlotType.SPECIAL:

@@ -26,6 +26,7 @@ import numpy as np
 
 from .config import CellConfig
 from .tasks import (
+    FEATURE_INDEX,
     CostModel,
     TaskInstance,
     TaskType,
@@ -40,8 +41,10 @@ __all__ = ["DagInstance", "DagBuilder", "MAX_CBS_PER_TASK"]
 #: Maximum codeblocks bundled into one encode/decode task instance.
 MAX_CBS_PER_TASK = 4
 
+_RAND_IDX = FEATURE_INDEX["rand_probe"]
 
-@dataclass
+
+@dataclass(slots=True)
 class DagInstance:
     """One slot's worth of dependent signal-processing tasks for a cell."""
 
@@ -118,16 +121,65 @@ def _link(parent: TaskInstance, child: TaskInstance) -> None:
 
 
 class DagBuilder:
-    """Factory turning :class:`SlotLoad` objects into task DAGs."""
+    """Factory turning :class:`SlotLoad` objects into task DAGs.
+
+    Stochastic sampling is *batched per DAG*: every build derives a
+    private RNG stream keyed by ``(cell_index, slot_index, direction)``
+    and draws all of the DAG's randomness (rand_probe features plus the
+    :meth:`CostModel.sample_runtimes` presamples) from it in a few
+    vectorized calls.  Keying by DAG identity rather than by draw order
+    makes the streams independent of execution interleaving: a DAG's
+    runtimes are identical whether it is built before or after its
+    neighbours, which is what keeps serial and parallel experiment
+    drivers byte-identical.
+
+    Stream derivation is counter-based: ``seed_seq`` (a SeedSequence
+    child of the simulation seed) generates a 128-bit Philox key once,
+    and each DAG's stream sets the Philox counter to its identity
+    ``(0, cell_index, slot_index, direction)``.  Distinct counters are
+    distinct, never-overlapping streams by construction — the same
+    independence guarantee as ``SeedSequence.spawn`` children, but
+    resetting a counter costs ~2 µs where hashing a fresh SeedSequence
+    plus constructing a bit generator costs ~20 µs, which matters at
+    one stream per DAG on the hot path.
+    """
 
     def __init__(self, cost_model: CostModel,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 seed_seq: Optional[np.random.SeedSequence] = None) -> None:
         self.cost_model = cost_model
         self.rng = rng if rng is not None else np.random.default_rng(1)
+        if seed_seq is None:
+            # Deterministic fallback for callers that only pass an rng.
+            seed_seq = np.random.SeedSequence(int(self.rng.integers(2 ** 63)))
+        self._seed_seq = seed_seq
+        # One reusable Philox generator; _dag_rng re-keys its counter.
+        self._philox = np.random.Philox(
+            key=seed_seq.generate_state(2, np.uint64))
+        self._dag_gen = np.random.Generator(self._philox)
+        self._philox_template = self._philox.state
         self._task_ids = itertools.count()
         self._dag_ids = itertools.count()
 
     # -- helpers -----------------------------------------------------------
+
+    def _dag_rng(self, cell_index: int, slot_index: int,
+                 uplink: bool) -> np.random.Generator:
+        """Generator positioned on one (cell, slot, direction) stream.
+
+        Returns the builder's single reusable generator with its Philox
+        counter reset to the DAG's identity — equivalent to a fresh
+        ``Generator(Philox(key=key, counter=(0, cell, slot, dir)))``
+        without the per-DAG construction cost.  The caller must finish
+        drawing before the next ``_dag_rng`` call.
+        """
+        template = self._philox_template
+        template["state"]["counter"][:] = (0, cell_index, slot_index,
+                                           1 if uplink else 0)
+        template["buffer_pos"] = 4
+        template["has_uint32"] = 0
+        self._philox.state = template
+        return self._dag_gen
 
     def _new_task(
         self,
@@ -135,6 +187,7 @@ class DagBuilder:
         load: SlotLoad,
         cell: CellConfig,
         base_features: np.ndarray,
+        prbs: int,
         *,
         task_codeblocks: int = 0,
         task_bytes: float = 0.0,
@@ -143,7 +196,6 @@ class DagBuilder:
         prb_share: float = 1.0,
         layers: int = 1,
     ) -> TaskInstance:
-        prbs = prbs_for_bandwidth(cell.bandwidth_mhz, cell.numerology)
         base = self.cost_model.base_cost_us(
             task_type,
             prbs=prbs,
@@ -158,8 +210,9 @@ class DagBuilder:
             prb_share=prb_share,
             layers=layers,
         )
+        # rand_probe is filled in vectorized at the end of build().
         features = task_feature_vector(
-            base_features, task_codeblocks, task_bytes, self.rng.random()
+            base_features, task_codeblocks, task_bytes, 0.0
         )
         return TaskInstance(
             task_id=next(self._task_ids),
@@ -192,13 +245,25 @@ class DagBuilder:
     # -- public API ---------------------------------------------------------
 
     def build(self, load: SlotLoad, cell: CellConfig,
-              release_us: float, deadline_us: float) -> DagInstance:
-        """Build the DAG for one (cell, direction, slot)."""
+              release_us: float, deadline_us: float,
+              cell_index: int = 0) -> DagInstance:
+        """Build the DAG for one (cell, direction, slot).
+
+        ``cell_index`` keys this DAG's private RNG stream together with
+        the slot index and direction; callers building DAGs for several
+        cells must pass distinct indices so the streams stay distinct.
+        """
         base_features = slot_base_features(load, cell, load.slot_index)
+        prbs = prbs_for_bandwidth(cell.bandwidth_mhz, cell.numerology)
         if load.uplink:
-            tasks = self._build_uplink(load, cell, base_features)
+            tasks = self._build_uplink(load, cell, base_features, prbs)
         else:
-            tasks = self._build_downlink(load, cell, base_features)
+            tasks = self._build_downlink(load, cell, base_features, prbs)
+        rng = self._dag_rng(cell_index, load.slot_index, load.uplink)
+        probes = rng.random(len(tasks)).tolist()
+        for task, probe in zip(tasks, probes):
+            task.features[_RAND_IDX] = probe
+        self.cost_model.sample_runtimes(tasks, rng)
         dag = DagInstance(
             dag_id=next(self._dag_ids),
             cell_name=cell.name,
@@ -214,19 +279,19 @@ class DagBuilder:
         return dag
 
     def _build_uplink(self, load: SlotLoad, cell: CellConfig,
-                      base_features: np.ndarray) -> list:
+                      base_features: np.ndarray, prbs: int) -> list:
         """FFT -> per-UE (ChanEst..RateDematch -> decode groups) -> CRC.
 
         FlexRAN processes scheduled UEs in parallel branches; the slot's
         critical path is the front-end FFT plus one UE's chain plus one
         decode group, not the sum over UEs.
         """
-        fft = self._new_task(TaskType.FFT, load, cell, base_features)
+        fft = self._new_task(TaskType.FFT, load, cell, base_features, prbs)
         tasks = [fft]
         if load.idle:
             # Front-end processing runs even on empty slots (no PUSCH).
             return tasks
-        crc = self._new_task(TaskType.CRC_CHECK, load, cell, base_features)
+        crc = self._new_task(TaskType.CRC_CHECK, load, cell, base_features, prbs)
         slot_bytes = max(load.total_bytes, 1)
         for alloc in load.allocations:
             share = alloc.tbs_bytes / slot_bytes
@@ -238,7 +303,7 @@ class DagBuilder:
                               TaskType.DESCRAMBLING,
                               TaskType.RATE_DEMATCH):
                 task = self._new_task(
-                    task_type, load, cell, base_features,
+                    task_type, load, cell, base_features, prbs,
                     task_bytes=alloc.tbs_bytes,
                     snr_margin_db=margin,
                     code_rate=alloc.mcs.code_rate,
@@ -250,7 +315,7 @@ class DagBuilder:
                 prev = task
             for cbs, grp_bytes, grp_margin, rate in self._codeblock_groups(alloc):
                 decode = self._new_task(
-                    TaskType.LDPC_DECODE, load, cell, base_features,
+                    TaskType.LDPC_DECODE, load, cell, base_features, prbs,
                     task_codeblocks=cbs, task_bytes=grp_bytes,
                     snr_margin_db=grp_margin, code_rate=rate,
                     prb_share=share, layers=alloc.layers,
@@ -262,30 +327,30 @@ class DagBuilder:
         return tasks
 
     def _build_downlink(self, load: SlotLoad, cell: CellConfig,
-                        base_features: np.ndarray) -> list:
+                        base_features: np.ndarray, prbs: int) -> list:
         """CRC -> per-UE (encode groups -> RateMatch..Modulate) -> Precode -> iFFT."""
         if load.idle:
             # Broadcast/control symbols still get modulated and precoded.
-            mod = self._new_task(TaskType.MODULATION, load, cell, base_features)
-            ifft = self._new_task(TaskType.IFFT, load, cell, base_features)
+            mod = self._new_task(TaskType.MODULATION, load, cell, base_features, prbs)
+            ifft = self._new_task(TaskType.IFFT, load, cell, base_features, prbs)
             _link(mod, ifft)
             return [mod, ifft]
-        crc = self._new_task(TaskType.CRC_ATTACH, load, cell, base_features)
+        crc = self._new_task(TaskType.CRC_ATTACH, load, cell, base_features, prbs)
         tasks = [crc]
-        precode = self._new_task(TaskType.PRECODING, load, cell, base_features)
+        precode = self._new_task(TaskType.PRECODING, load, cell, base_features, prbs)
         slot_bytes = max(load.total_bytes, 1)
         for alloc in load.allocations:
             share = alloc.tbs_bytes / slot_bytes
             margin = alloc.snr_db - alloc.mcs.min_snr_db
             rate_match = self._new_task(
-                TaskType.RATE_MATCH, load, cell, base_features,
+                TaskType.RATE_MATCH, load, cell, base_features, prbs,
                 task_bytes=alloc.tbs_bytes, snr_margin_db=margin,
                 code_rate=alloc.mcs.code_rate, prb_share=share,
                 layers=alloc.layers,
             )
             for cbs, grp_bytes, grp_margin, rate in self._codeblock_groups(alloc):
                 encode = self._new_task(
-                    TaskType.LDPC_ENCODE, load, cell, base_features,
+                    TaskType.LDPC_ENCODE, load, cell, base_features, prbs,
                     task_codeblocks=cbs, task_bytes=grp_bytes,
                     snr_margin_db=grp_margin, code_rate=rate,
                     prb_share=share, layers=alloc.layers,
@@ -297,7 +362,7 @@ class DagBuilder:
             prev = rate_match
             for task_type in (TaskType.SCRAMBLING, TaskType.MODULATION):
                 task = self._new_task(
-                    task_type, load, cell, base_features,
+                    task_type, load, cell, base_features, prbs,
                     task_bytes=alloc.tbs_bytes, snr_margin_db=margin,
                     code_rate=alloc.mcs.code_rate, prb_share=share,
                     layers=alloc.layers,
@@ -307,7 +372,7 @@ class DagBuilder:
                 prev = task
             _link(prev, precode)
         tasks.append(precode)
-        ifft = self._new_task(TaskType.IFFT, load, cell, base_features)
+        ifft = self._new_task(TaskType.IFFT, load, cell, base_features, prbs)
         _link(precode, ifft)
         tasks.append(ifft)
         return tasks

@@ -117,7 +117,7 @@ def prbs_for_bandwidth(bandwidth_mhz: float, numerology: int) -> int:
     return max(11, int(usable_khz / (12 * scs_khz)))
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskInstance:
     """One runnable signal-processing task within a slot DAG.
 
@@ -125,6 +125,10 @@ class TaskInstance:
     runtime, fixed at DAG construction.  The stochastic multipliers
     (noise, multi-core memory stalls, cache interference) are applied by
     :meth:`CostModel.sample_runtime` when the task actually executes.
+    :meth:`CostModel.sample_runtimes` presamples the state-independent
+    part of those draws into ``stoch_mult``/``cache_u``/``cache_tail``
+    at DAG construction, one vectorized draw per DAG instead of several
+    scalar RNG calls per task at dispatch.
     """
 
     task_id: int
@@ -147,6 +151,17 @@ class TaskInstance:
     #: by the Concordia scheduler at slot start for O(1) critical-path
     #: maintenance.
     path_us: float = 0.0
+    #: Presampled state-independent runtime multiplier (lognormal noise ×
+    #: decode-iteration jitter × isolated tail), or None to fall back to
+    #: scalar draws in :meth:`CostModel.sample_runtime`.
+    stoch_mult: Optional[float] = None
+    #: Presampled uniform for the cache-interference tail trigger; the
+    #: pool compares it against the state-dependent tail probability at
+    #: dispatch time (equivalent in distribution to drawing there).
+    cache_u: Optional[float] = None
+    #: Presampled cache-interference tail magnitude, applied iff
+    #: ``cache_u`` lands under the tail probability.
+    cache_tail: float = 1.0
 
     def feature(self, name: str) -> float:
         return float(self.features[FEATURE_INDEX[name]])
@@ -309,21 +324,79 @@ class CostModel:
         cache-interference model; 1.0 means the vRAN runs in isolation.
         """
         base = task.base_cost_us
-        base *= 1.0 + self.core_penalty(task.task_type, active_cores)
-        noise = math.exp(self.rng.normal(0.0, self.noise_sigma))
-        runtime = base * noise * interference_multiplier
-        if task.task_type is TaskType.LDPC_DECODE:
-            # Realized iteration count is data-dependent: two decodes
-            # with identical parameters can need very different numbers
-            # of iterations (§A.1).  The exponential tail is what makes
-            # Gaussian prediction intervals under-cover decode runtimes
-            # while the quantile tree's distribution-free leaf maximum
-            # absorbs it (Fig. 14).
-            runtime *= 1.0 + self.decode_iteration_jitter *                 self.rng.exponential(1.0)
-        if self.rng.random() < self.isolated_tail_prob:
-            runtime *= self.isolated_tail_scale
-        runtime *= tail_multiplier
-        return max(0.3, runtime)
+        # Inline of core_penalty(): one method call per task execution
+        # is measurable on the hot path.
+        if active_cores > 1 and task.task_type in _MEMORY_BOUND_TYPES:
+            spread = (active_cores - 1) * 0.2
+            base *= 1.0 + _MAX_CORE_PENALTY * (
+                1.0 if spread >= 1.0 else spread)
+        mult = task.stoch_mult
+        if mult is None:
+            mult = math.exp(self.rng.normal(0.0, self.noise_sigma))
+            if task.task_type is TaskType.LDPC_DECODE:
+                # Realized iteration count is data-dependent: two decodes
+                # with identical parameters can need very different numbers
+                # of iterations (§A.1).  The exponential tail is what makes
+                # Gaussian prediction intervals under-cover decode runtimes
+                # while the quantile tree's distribution-free leaf maximum
+                # absorbs it (Fig. 14).
+                mult *= 1.0 + self.decode_iteration_jitter * \
+                    self.rng.exponential(1.0)
+            if self.rng.random() < self.isolated_tail_prob:
+                mult *= self.isolated_tail_scale
+        runtime = base * mult * interference_multiplier * tail_multiplier
+        return runtime if runtime > 0.3 else 0.3
+
+    def sample_runtimes(
+        self,
+        tasks: list,
+        rng: np.random.Generator,
+    ) -> None:
+        """Presample the state-independent stochastic draws for a DAG.
+
+        One vectorized pass replaces the 3-5 scalar RNG calls that
+        :meth:`sample_runtime` and the cache model would otherwise make
+        per task at dispatch time.  Everything that does NOT depend on
+        execution-time state is drawn here from the DAG's own ``rng``
+        stream (see :class:`repro.ran.dag.DagBuilder` for how that
+        stream is keyed) and folded into ``task.stoch_mult``:
+
+        * multiplicative lognormal noise,
+        * the data-dependent LDPC decode iteration jitter (§A.1),
+        * the rare isolated-workload tail.
+
+        The cache-interference tail needs execution-time state (cache
+        churn/pressure), so only its *randomness* is presampled: a
+        uniform trigger ``cache_u`` and a tail magnitude ``cache_tail``.
+        The pool compares ``cache_u`` against the state-dependent tail
+        probability at dispatch, which is equivalent in distribution to
+        drawing there.  Multi-core memory-stall penalties remain an
+        execution-time computation (:meth:`core_penalty`) because they
+        depend on how many cores are active when the task starts.
+        """
+        n = len(tasks)
+        if n == 0:
+            return
+        # Two generator calls cover all five per-task draws: generator
+        # dispatch overhead dominates actual sampling at DAG sizes
+        # (~15-40 tasks), so the uniforms come from one block and the
+        # exponential jitter via inverse-CDF from a slice of it.
+        u = rng.random(4 * n)
+        mult = np.exp(rng.standard_normal(n) * self.noise_sigma)
+        mult[u[:n] < self.isolated_tail_prob] *= self.isolated_tail_scale
+        mults = mult.tolist()
+        jitters = (-np.log1p(-u[n:2 * n])).tolist()
+        cache_us = u[2 * n:3 * n].tolist()
+        cache_tails = (1.5 + u[3 * n:]).tolist()
+        coeff = self.decode_iteration_jitter
+        decode = TaskType.LDPC_DECODE
+        for i, task in enumerate(tasks):
+            m = mults[i]
+            if task.task_type is decode:
+                m *= 1.0 + coeff * jitters[i]
+            task.stoch_mult = m
+            task.cache_u = cache_us[i]
+            task.cache_tail = cache_tails[i]
 
 
 _TASK_CB_IDX = FEATURE_INDEX["task_codeblocks"]

@@ -141,7 +141,7 @@ class CellTraffic:
                 load_fraction * avg_mbps * 1e6 / 8.0 * cell.slot_duration_us / 1e6
             )
             if cell.duplex.value == "tdd":
-                share = cell._direction_share(uplink)
+                share = cell.direction_share(uplink)
                 if share > 0:
                     mean_bytes /= share
             peak_bytes = cell.peak_bytes_per_slot(uplink)

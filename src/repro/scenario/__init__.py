@@ -1,0 +1,29 @@
+"""Scenario assembly layer: serializable experiment descriptions.
+
+``Scenario`` (plain data) says *what* to simulate; ``build_simulation``
+assembles the live object graph.  See ARCHITECTURE.md ("Scenario
+assembly & slot pipeline") for the layer diagram and the RNG-stream
+map.
+"""
+
+from .scenario import (
+    NAMED_POOLS,
+    SCENARIO_SCHEMA,
+    Scenario,
+    pool_config_from_dict,
+    pool_config_to_dict,
+    resolve_pool,
+)
+from .assembly import POLICY_NAMES, build_policy, build_simulation
+
+__all__ = [
+    "NAMED_POOLS",
+    "POLICY_NAMES",
+    "SCENARIO_SCHEMA",
+    "Scenario",
+    "build_policy",
+    "build_simulation",
+    "pool_config_from_dict",
+    "pool_config_to_dict",
+    "resolve_pool",
+]

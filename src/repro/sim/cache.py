@@ -49,6 +49,11 @@ class CacheInterferenceModel:
         self.pressure = 0.0  # set by the active best-effort workloads
         self._churn_rate_per_ms = 0.0
         self._last_event_us: Optional[float] = None
+        # Same-timestamp memo for churn_factor: a dispatch round starts
+        # several tasks at one engine time, and the EWMA only moves on
+        # record_scheduling_event, so the decayed value is constant
+        # in between.
+        self._churn_memo: tuple[float, float] = (-1.0, 0.0)
         # Running statistics for the Fig. 9 perf-counter proxies.
         self._stall_samples = 0
         self._stall_sum = 0.0
@@ -64,6 +69,7 @@ class CacheInterferenceModel:
         if self._last_event_us is None:
             self._last_event_us = now_us
             self._churn_rate_per_ms = 1.0 / (_CHURN_TAU_US / 1000.0)
+            self._churn_memo = (-1.0, 0.0)
             return
         dt = max(now_us - self._last_event_us, 1e-6)
         decay = math.exp(-dt / _CHURN_TAU_US)
@@ -72,6 +78,7 @@ class CacheInterferenceModel:
             decay * self._churn_rate_per_ms + (1.0 - decay) * instantaneous
         )
         self._last_event_us = now_us
+        self._churn_memo = (-1.0, 0.0)
 
     def decayed_churn(self, now_us: float) -> float:
         """Churn EWMA decayed to ``now_us`` without adding an event."""
@@ -82,7 +89,13 @@ class CacheInterferenceModel:
 
     def churn_factor(self, now_us: float) -> float:
         """Normalized churn in [0, 1]."""
-        return min(1.0, self.decayed_churn(now_us) / _CHURN_SATURATION_PER_MS)
+        memo_now, memo_value = self._churn_memo
+        if memo_now == now_us:
+            return memo_value
+        value = min(1.0,
+                    self.decayed_churn(now_us) / _CHURN_SATURATION_PER_MS)
+        self._churn_memo = (now_us, value)
+        return value
 
     # -- interference sampling -------------------------------------------------
 
@@ -105,14 +118,29 @@ class CacheInterferenceModel:
         probability grows with pressure and churn (heavier-tailed
         distributions of Fig. 7b).
         """
-        stall = self.stall_increase(now_us)
+        return self.multipliers_for(
+            now_us, self.rng.random(), float(self.rng.uniform(1.5, 2.5))
+        )
+
+    def multipliers_for(self, now_us: float, u: float,
+                        tail_value: float) -> tuple[float, float]:
+        """Like :meth:`sample_multipliers` but with presampled randomness.
+
+        ``u`` is a uniform [0, 1) trigger and ``tail_value`` the tail
+        magnitude, both drawn ahead of time (vectorized per DAG by
+        :meth:`repro.ran.tasks.CostModel.sample_runtimes`).  Comparing
+        the presampled uniform against the *state-dependent* tail
+        probability here yields the same distribution as drawing at
+        execution time, while computing churn only once per call.
+        """
+        churn = self.churn_factor(now_us)
+        stall = 0.55 * self.pressure * churn * churn  # == stall_increase
         self._stall_samples += 1
         self._stall_sum += stall
         mean_multiplier = 1.0 + 0.6 * stall
-        churn = self.churn_factor(now_us)
         tail_prob = 0.0002 + 0.004 * self.pressure * (0.1 + 0.9 * churn * churn)
-        if self.pressure > 0 and self.rng.random() < tail_prob:
-            tail = float(self.rng.uniform(1.5, 2.5))
+        if self.pressure > 0 and u < tail_prob:
+            tail = tail_value
         else:
             tail = 1.0
         return mean_multiplier, tail

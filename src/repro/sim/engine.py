@@ -9,10 +9,13 @@ scheduled for the same instant fire in FIFO order of scheduling
 (deterministic tiebreak via a monotonically increasing sequence number),
 which makes simulations fully reproducible for a fixed RNG seed.
 
-Heap entries are plain ``[time, seq, callback]`` lists rather than
-objects: tuple-style comparison on (time, seq) stays in C, which matters
-because a busy pool schedules hundreds of thousands of events per
-simulated second.
+Heap entries are plain ``[time, seq, callback, period]`` lists rather
+than objects: tuple-style comparison on (time, seq) stays in C, which
+matters because a busy pool schedules hundreds of thousands of events
+per simulated second.  ``period`` is None for one-shot events; periodic
+sources (:meth:`Engine.schedule_every`) reuse their single heap entry
+across firings — the entry is re-keyed and pushed back instead of
+allocating a fresh entry, sequence handle and closure per period.
 """
 
 from __future__ import annotations
@@ -27,16 +30,23 @@ class SimulationError(RuntimeError):
     """Raised on invalid use of the simulation engine."""
 
 
+#: Sentinel stored in the callback slot of a finished one-shot entry so
+#: a late ``cancel()`` does not corrupt the live-event counter.
+_DONE = object()
+
+
 class Event:
     """Handle to a scheduled callback; supports cancellation.
 
     Cancelled events stay in the heap but are skipped when popped
-    (lazy deletion): cancelling is O(1).
+    (lazy deletion): cancelling is O(1).  Cancelling a recurring event
+    (:meth:`Engine.schedule_every`) stops all future firings.
     """
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_engine", "_entry")
 
-    def __init__(self, entry: list) -> None:
+    def __init__(self, engine: "Engine", entry: list) -> None:
+        self._engine = engine
         self._entry = entry
 
     @property
@@ -49,7 +59,13 @@ class Event:
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
-        self._entry[2] = None
+        entry = self._entry
+        callback = entry[2]
+        if callback is None or callback is _DONE:
+            return  # already cancelled / already fired: no-op
+        entry[2] = None
+        entry[3] = None
+        self._engine._live -= 1
 
 
 class Engine:
@@ -59,6 +75,7 @@ class Engine:
 
         eng = Engine()
         eng.schedule_at(10.0, lambda: print(eng.now))
+        eng.schedule_every(20.0, tick)   # one reused heap entry
         eng.run_until(100.0)
     """
 
@@ -67,6 +84,9 @@ class Engine:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        #: Live (scheduled, non-cancelled) events; maintained on
+        #: schedule/cancel/pop so :meth:`pending_count` is O(1).
+        self._live = 0
         self.events_processed = 0
 
     @property
@@ -81,15 +101,60 @@ class Engine:
                 f"cannot schedule event in the past: {time} < {self._now}"
             )
         self._seq += 1
-        entry = [time, self._seq, callback]
+        entry = [time, self._seq, callback, None]
         heapq.heappush(self._heap, entry)
-        return Event(entry)
+        self._live += 1
+        return Event(self, entry)
 
     def schedule_after(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` after a relative ``delay`` (µs, >= 0)."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         return self.schedule_at(self._now + delay, callback)
+
+    def schedule_every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        start: Optional[float] = None,
+    ) -> Event:
+        """Fire ``callback`` every ``period`` µs with one reused heap entry.
+
+        The first firing is at ``start`` (absolute; defaults to
+        ``now + period``) and subsequent firings follow at fixed-rate
+        ``period`` intervals with no drift.  Unlike re-arming with
+        :meth:`schedule_after` from inside the callback, a periodic
+        source allocates its entry, handle and closure exactly once:
+        after each firing the engine re-keys the same entry and pushes
+        it back.  Cancelling the returned :class:`Event` stops all
+        future firings — including when the callback cancels its own
+        timer mid-firing.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive: {period}")
+        first = self._now + period if start is None else start
+        if first < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {first} < {self._now}"
+            )
+        self._seq += 1
+        entry = [first, self._seq, callback, period]
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+        return Event(self, entry)
+
+    def _retire(self, entry: list) -> None:
+        """Account for a just-fired entry: re-arm periodic, retire one-shot."""
+        if entry[3] is not None and entry[2] is not None:
+            self._seq += 1
+            entry[0] += entry[3]
+            entry[1] = self._seq
+            heapq.heappush(self._heap, entry)
+        elif entry[2] is not None:
+            # entry[2] is None when the callback cancelled its own
+            # entry mid-firing — cancel() already decremented _live.
+            entry[2] = _DONE
+            self._live -= 1
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the heap is empty."""
@@ -102,12 +167,14 @@ class Engine:
         """Process the next event.  Returns False when no events remain."""
         heap = self._heap
         while heap:
-            time, __, callback = heapq.heappop(heap)
+            entry = heapq.heappop(heap)
+            callback = entry[2]
             if callback is None:
                 continue
-            self._now = time
+            self._now = entry[0]
             self.events_processed += 1
             callback()
+            self._retire(entry)
             return True
         return False
 
@@ -122,6 +189,7 @@ class Engine:
         self._running = True
         heap = self._heap
         pop = heapq.heappop
+        push = heapq.heappush
         try:
             while heap:
                 entry = heap[0]
@@ -134,6 +202,18 @@ class Engine:
                 self._now = entry[0]
                 self.events_processed += 1
                 callback()
+                period = entry[3]
+                if period is not None and entry[2] is not None:
+                    # Periodic source: re-key and reuse the same entry.
+                    self._seq += 1
+                    entry[0] += period
+                    entry[1] = self._seq
+                    push(heap, entry)
+                elif entry[2] is not None:
+                    # None here means the callback cancelled its own
+                    # entry mid-firing; cancel() already decremented.
+                    entry[2] = _DONE
+                    self._live -= 1
         finally:
             self._running = False
         if end_time > self._now:
@@ -151,5 +231,6 @@ class Engine:
             self._running = False
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for entry in self._heap if entry[2] is not None)
+        """Number of live (non-cancelled) events still queued.  O(1):
+        a counter is maintained on schedule, cancel and pop."""
+        return self._live

@@ -66,6 +66,9 @@ class WakeupLatencyModel:
         self.rng = FastRng(rng if rng is not None else np.random.default_rng(11))
         self._isolated = self._normalize(isolated_buckets)
         self._collocated = self._normalize(collocated_buckets)
+        # Per-mode blocks of presampled latencies, refilled vectorized;
+        # consumed back-to-front so sample() is a list pop.
+        self._presampled: dict[bool, list[float]] = {False: [], True: []}
         #: Optional repro.obs.events.EventBus; the pool attaches its bus
         #: here so raw latency samples can be audited independently of
         #: the pool-level wakeup events.
@@ -81,13 +84,26 @@ class WakeupLatencyModel:
             raise ValueError("bucket probabilities must sum to a positive value")
         return np.cumsum(probs / total), list(buckets)
 
-    def sample(self, collocated: bool) -> float:
-        """One wakeup latency in µs."""
+    def _refill(self, collocated: bool, n: int = 256) -> list[float]:
+        """Presample a block of ``n`` latencies with two vectorized draws."""
         cumulative, buckets = self._collocated if collocated else self._isolated
-        index = int(np.searchsorted(cumulative, self.rng.random(),
-                                    side="right"))
-        bucket = buckets[min(index, len(buckets) - 1)]
-        latency = self.rng.uniform(bucket.low_us, bucket.high_us)
+        lows = np.array([b.low_us for b in buckets])
+        spans = np.array([b.high_us - b.low_us for b in buckets])
+        gen = self.rng.generator
+        idx = np.minimum(
+            np.searchsorted(cumulative, gen.random(n), side="right"),
+            len(buckets) - 1,
+        )
+        block = (lows[idx] + spans[idx] * gen.random(n)).tolist()
+        self._presampled[collocated] = block
+        return block
+
+    def sample(self, collocated: bool) -> float:
+        """One wakeup latency in µs (served from a presampled block)."""
+        block = self._presampled[collocated]
+        if not block:
+            block = self._refill(collocated)
+        latency = block.pop()
         bus = self.event_bus
         if bus is not None and bus.enabled:
             from ..obs.events import REC_WAKEUP

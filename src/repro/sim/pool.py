@@ -92,6 +92,7 @@ class VranPool:
         self._reserved = config.num_cores
         self._running = 0
         self._waking = 0
+        self._spinning = config.num_cores
         self._pinned = 0
         self._ready: list[tuple[float, int, TaskInstance]] = []
         self._seq = itertools.count()
@@ -121,10 +122,20 @@ class VranPool:
 
         self.metrics.on_reserved_change(engine.now, config.num_cores)
         policy.attach(self)
+        # Periodic sources use recurring timers: one reused heap entry
+        # each instead of a push/pop + closure per firing.
         if policy.tick_interval_us is not None:
-            self._schedule_tick()
+            self._tick_event = engine.schedule_every(
+                policy.tick_interval_us, self._tick
+            )
+        else:
+            self._tick_event = None
         if policy.rotate_cores:
-            self.engine.schedule_after(config.core_rotation_us, self._rotate)
+            self._rotate_event = engine.schedule_every(
+                config.core_rotation_us, self._rotate
+            )
+        else:
+            self._rotate_event = None
 
     # -- derived state -----------------------------------------------------
 
@@ -240,9 +251,8 @@ class VranPool:
     def _pin_to_wakeup(self, task: TaskInstance) -> bool:
         """Bind ``task`` to a freshly woken worker's queue if no core is
         free to take it right now (per-worker queue affinity)."""
-        for worker in self._order:
-            if worker.state is WorkerState.SPINNING:
-                return False  # someone can take it immediately
+        if self._spinning:
+            return False  # someone can take it immediately
         for worker in self._order:
             if worker.state is WorkerState.YIELDED:
                 worker.pinned_task = task
@@ -253,39 +263,55 @@ class VranPool:
 
     def _dispatch(self) -> None:
         """Hand ready tasks to spinning workers (EDF order)."""
-        if not self._ready or self._running + self._waking >= self._reserved:
+        ready = self._ready
+        if not ready or not self._spinning:
             return
+        spinning = WorkerState.SPINNING
+        pop = heapq.heappop
         for worker in self._order:
-            if not self._ready:
+            if not ready:
                 break
-            if worker.state is WorkerState.SPINNING:
-                __, __, task = heapq.heappop(self._ready)
+            if worker.state is spinning:
+                __, __, task = pop(ready)
                 self._start(worker, task)
+                if not self._spinning:
+                    break
 
     # -- task execution ----------------------------------------------------------
 
     def _start(self, worker: Worker, task: TaskInstance) -> None:
+        now = self.engine.now
         worker.state = WorkerState.RUNNING
         self._running += 1
+        self._spinning -= 1
         worker.current_task = task
-        task.start_time = self.now
-        mean_mult, tail_mult = self.cache_model.sample_multipliers(self.now)
+        task.start_time = now
+        # Per-task randomness is presampled at DAG build (stoch_mult,
+        # cache_u/cache_tail); only state-dependent factors — active
+        # cores and the cache model's churn/pressure — are applied here.
+        if task.cache_u is not None:
+            mean_mult, tail_mult = self.cache_model.multipliers_for(
+                now, task.cache_u, task.cache_tail
+            )
+        else:
+            mean_mult, tail_mult = self.cache_model.sample_multipliers(now)
         runtime = self.cost_model.sample_runtime(
             task,
-            active_cores=self.running_count,
+            active_cores=self._running,
             interference_multiplier=mean_mult,
             tail_multiplier=tail_mult,
         )
         task.runtime_us = runtime
-        self.metrics.on_running_change(self.now, self.running_count)
+        self.metrics.on_running_change(now, self._running)
         self.policy.on_task_started(task)
         self.engine.schedule_after(runtime, lambda: self._finish(worker, task))
 
     def _finish(self, worker: Worker, task: TaskInstance) -> None:
-        now = self.now
+        now = self.engine.now
         worker.current_task = None
         worker.state = WorkerState.SPINNING
         self._running -= 1
+        self._spinning += 1
         self._complete_task(task, now, core=worker.core_id)
         self.metrics.on_running_change(now, self.running_count)
         self.policy.on_task_finished(task)
@@ -411,6 +437,7 @@ class VranPool:
             return
         worker.state = WorkerState.SPINNING
         self._waking -= 1
+        self._spinning += 1
         worker.wake_signaled_at = None
         worker.wake_event = None
         pinned = worker.pinned_task
@@ -429,6 +456,7 @@ class VranPool:
     def _yield(self, worker: Worker) -> None:
         worker.state = WorkerState.YIELDED
         self._reserved -= 1
+        self._spinning -= 1
         self.metrics.on_yield()
         self.cache_model.record_scheduling_event(self.now)
         self.metrics.on_reserved_change(self.now, self.reserved_count)
@@ -445,14 +473,12 @@ class VranPool:
                                      self.num_cores - self.reserved_count)
 
     # -- periodic machinery -----------------------------------------------------------
-
-    def _schedule_tick(self) -> None:
-        assert self.policy.tick_interval_us is not None
-        self.engine.schedule_after(self.policy.tick_interval_us, self._tick)
+    # The scheduler tick and core rotation are recurring engine timers
+    # (Engine.schedule_every): the engine re-keys and reuses a single
+    # heap entry per source instead of a push/pop + closure per firing.
 
     def _tick(self) -> None:
-        self.policy.on_tick(self.now)
-        self._schedule_tick()
+        self.policy.on_tick(self.engine.now)
 
     def _rotate(self) -> None:
         """Rotate preferred core order every 2 ms (§5)."""
@@ -466,4 +492,3 @@ class VranPool:
             bus.record(REC_CORE, self.now, "core_rotate",
                        self._order[0].core_id, self.reserved_count,
                        self.target_cores)
-        self.engine.schedule_after(self.config.core_rotation_us, self._rotate)

@@ -6,6 +6,30 @@ a scheduling policy, the OS and cache models, and the collocated
 best-effort workloads.  ``run(num_slots)`` drives slot boundaries and
 returns a :class:`SimulationResult` with everything the paper's figures
 report.
+
+What to build is described by a :class:`repro.scenario.Scenario`; the
+legacy keyword constructor normalizes its arguments into one, so a
+spec, a CLI invocation and a driver all assemble the system the same
+way (prefer :func:`repro.scenario.build_simulation` for new code).
+
+RNG-stream map — every stream is a ``SeedSequence`` child of the
+scenario seed with a fixed ``spawn_key``, so streams are collision-safe
+and independent of construction order:
+
+=====================  ==========================================
+spawn_key              purpose
+=====================  ==========================================
+(0,)                   cost-model scalar fallback draws
+(1,)                   profiling-traffic byte draws
+(2,)                   i.i.d. UE allocation splitting
+(3,)                   OS wakeup-latency model
+(4,)                   cache-interference model
+(5,)                   workload mix controller
+(6, cell, slot, dir)   per-DAG batched sampling (DagBuilder)
+(7, cell)              per-cell traffic generators
+(8, cell)              per-cell HARQ processes
+(9, cell, dir)         per-cell/direction MAC pipelines
+=====================  ==========================================
 """
 
 from __future__ import annotations
@@ -31,7 +55,12 @@ from .osmodel import WakeupLatencyModel
 from .policy import SchedulerPolicy
 from .pool import VranPool
 
-__all__ = ["Simulation", "SimulationResult"]
+__all__ = ["RESULT_SCHEMAS", "Simulation", "SimulationResult"]
+
+#: Result-payload schemas :meth:`SimulationResult.from_dict` can load.
+#: Schema 1 predates the scenario layer (no ``scenario`` key); schema 2
+#: embeds the serialized scenario that produced the result.
+RESULT_SCHEMAS = (1, 2)
 
 #: Fraction of a direction's traffic carried in a TDD special slot.
 SPECIAL_SLOT_DL_SCALE = 0.5
@@ -66,6 +95,9 @@ class SimulationResult:
     #: overhead counters.  Unlike ``metrics``/``pool`` this survives
     #: the repro.exec result cache.
     telemetry: dict = field(default_factory=dict, repr=False)
+    #: Serialized :class:`repro.scenario.Scenario` that produced this
+    #: result (schema-2 payloads; None when loaded from schema 1).
+    scenario: Optional[dict] = None
 
     @property
     def meets_five_nines(self) -> bool:
@@ -82,7 +114,7 @@ class SimulationResult:
         """
         latency = self.latency
         return {
-            "schema": 1,
+            "schema": 2,
             "policy_name": self.policy_name,
             "workload_name": self.workload_name,
             "load_fraction": self.load_fraction,
@@ -110,12 +142,19 @@ class SimulationResult:
             "mean_stall_increase": self.mean_stall_increase,
             "harq": self.harq,
             "telemetry": self.telemetry,
+            "scenario": self.scenario,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SimulationResult":
-        """Rebuild a result from :meth:`to_dict` (metrics/pool = None)."""
-        if payload.get("schema") != 1:
+        """Rebuild a result from :meth:`to_dict` (metrics/pool = None).
+
+        Accepts every schema in :data:`RESULT_SCHEMAS`; anything else
+        (including newer schemas written by a later version) raises
+        ``ValueError`` so callers such as the exec result cache can
+        treat the payload as a miss instead of misreading it.
+        """
+        if payload.get("schema") not in RESULT_SCHEMAS:
             raise ValueError(
                 f"unsupported result schema {payload.get('schema')!r}")
         return cls(
@@ -138,11 +177,32 @@ class SimulationResult:
             pool=None,
             harq=payload["harq"],
             telemetry=dict(payload.get("telemetry", {})),
+            scenario=payload.get("scenario"),
         )
 
 
+def _stream_rng(seed: int, *spawn_key: int) -> np.random.Generator:
+    """Independent generator for one RNG stream of a simulation.
+
+    Streams are ``SeedSequence`` children of the scenario seed with an
+    explicit ``spawn_key`` (see the module docstring for the map), so
+    every stream is collision-safe, reproducible, and independent of
+    how many other streams exist or the order they are created in —
+    adding a cell or an optional subsystem never shifts another
+    stream's draws.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=spawn_key))
+
+
 class Simulation:
-    """One configured experiment: pool + policy + traffic + workloads."""
+    """One configured experiment: pool + policy + traffic + workloads.
+
+    Prefer :func:`repro.scenario.build_simulation`; the keyword
+    constructor is kept for existing call sites and normalizes its
+    arguments into a :class:`~repro.scenario.Scenario` so both paths
+    assemble the identical object graph.
+    """
 
     def __init__(
         self,
@@ -157,26 +217,52 @@ class Simulation:
         allocation_mode: str = "iid",
         harq: bool = False,
         event_bus=None,
+        scenario=None,
     ) -> None:
-        if allocation_mode not in ("iid", "mac"):
-            raise ValueError("allocation_mode must be 'iid' or 'mac'")
-        self.allocation_mode = allocation_mode
+        # Lazy: repro.scenario imports this module for build_simulation.
+        from ..scenario.scenario import Scenario
+
+        if scenario is None:
+            if allocation_mode not in ("iid", "mac"):
+                raise ValueError("allocation_mode must be 'iid' or 'mac'")
+            scenario = Scenario(
+                pool=pool_config,
+                policy=getattr(policy, "name", "custom"),
+                workload=workload,
+                load_fraction=load_fraction,
+                seed=seed,
+                traffic="profiling" if profiling_traffic else "model",
+                allocation=allocation_mode,
+                harq=harq,
+                mix_interval_us=mix_interval_us,
+                record_tasks=record_tasks,
+            )
+        self.scenario = scenario
+        self.allocation_mode = scenario.allocation
         self.pool_config = pool_config
         self.policy = policy
-        self.workload_name = workload
-        self.load_fraction = load_fraction
-        self.profiling_traffic = profiling_traffic
-        seeds = np.random.SeedSequence(seed).spawn(6)
-        self._rng_cost = np.random.default_rng(seeds[0])
-        self._rng_traffic = np.random.default_rng(seeds[1])
-        self._rng_alloc = np.random.default_rng(seeds[2])
-        self._rng_os = np.random.default_rng(seeds[3])
-        self._rng_cache = np.random.default_rng(seeds[4])
-        self._rng_mix = np.random.default_rng(seeds[5])
+        self.workload_name = scenario.workload
+        self.load_fraction = scenario.load_fraction
+        self.profiling_traffic = scenario.profiling_traffic
+        seed = scenario.seed
+        workload = scenario.workload
+        load_fraction = scenario.load_fraction
+        allocation_mode = scenario.allocation
+        mix_interval_us = scenario.mix_interval_us
+        record_tasks = scenario.record_tasks
+        harq = scenario.harq
+        self._rng_cost = _stream_rng(seed, 0)
+        self._rng_traffic = _stream_rng(seed, 1)
+        self._rng_alloc = _stream_rng(seed, 2)
+        self._rng_os = _stream_rng(seed, 3)
+        self._rng_cache = _stream_rng(seed, 4)
+        self._rng_mix = _stream_rng(seed, 5)
 
         self.engine = Engine()
         self.cost_model = CostModel(rng=self._rng_cost)
-        self.builder = DagBuilder(self.cost_model, rng=self._rng_alloc)
+        self.builder = DagBuilder(
+            self.cost_model, rng=self._rng_alloc,
+            seed_seq=np.random.SeedSequence(entropy=seed, spawn_key=(6,)))
         self.metrics = Metrics(pool_config.num_cores)
         self.metrics.record_tasks = record_tasks
         cache_model = CacheInterferenceModel(rng=self._rng_cache)
@@ -205,9 +291,9 @@ class Simulation:
         self.traffic = [
             CellTraffic.for_cell(
                 cell, load_fraction,
-                rng=np.random.default_rng(self._rng_traffic.integers(2**63)),
+                rng=_stream_rng(seed, 7, index),
             )
-            for cell in pool_config.cells
+            for index, cell in enumerate(pool_config.cells)
         ]
         # Optional HARQ loop: failed uplink transport blocks come back
         # as retransmissions a few slots later.
@@ -215,8 +301,7 @@ class Simulation:
         if harq:
             for index in range(len(pool_config.cells)):
                 self._harq[index] = HarqManager(
-                    rng=np.random.default_rng(
-                        self._rng_traffic.integers(2**63)))
+                    rng=_stream_rng(seed, 8, index))
         # Optional MAC-layer allocation pipeline (buffer-driven PF
         # scheduling instead of i.i.d. byte splitting).
         self._mac: dict = {}
@@ -226,17 +311,18 @@ class Simulation:
                     rate = (cell.avg_ul_mbps if uplink
                             else cell.avg_dl_mbps) * 1e6 * load_fraction
                     if cell.duplex.value == "tdd":
-                        share = cell._direction_share(uplink)
+                        share = cell.direction_share(uplink)
                         if share > 0:
                             rate /= share
                     self._mac[(index, uplink)] = MacCell(
                         cell,
                         num_ues=cell.max_ues_per_slot,
                         total_rate_bps=rate,
-                        rng=np.random.default_rng(
-                            self._rng_traffic.integers(2**63)),
+                        rng=_stream_rng(seed, 9, index, int(uplink)),
                     )
         self._slot_index = 0
+        self._slots_remaining = 0
+        self._slot_event = None
 
     # -- traffic ----------------------------------------------------------------
 
@@ -297,8 +383,15 @@ class Simulation:
         dags = []
         for cell_index, cell in enumerate(self.pool_config.cells):
             for load in self._loads_for_slot(cell_index, self._slot_index):
-                dags.append(self.builder.build(load, cell, now, deadline))
+                dags.append(self.builder.build(load, cell, now, deadline,
+                                               cell_index=cell_index))
         self._slot_index += 1
+        self._slots_remaining -= 1
+        if self._slots_remaining == 0 and self._slot_event is not None:
+            # Last requested slot: stop the periodic source so the
+            # drain window does not release extra TTIs.
+            self._slot_event.cancel()
+            self._slot_event = None
         self.pool.release_slot(dags)
 
     def run(self, num_slots: int) -> SimulationResult:
@@ -306,9 +399,11 @@ class Simulation:
         if num_slots <= 0:
             raise ValueError("num_slots must be positive")
         slot_us = self.pool_config.slot_duration_us
-        for i in range(num_slots):
-            self.engine.schedule_at(i * slot_us, self._on_slot_boundary)
-        end = num_slots * slot_us
+        start = self.engine.now
+        self._slots_remaining = num_slots
+        self._slot_event = self.engine.schedule_every(
+            slot_us, self._on_slot_boundary, start=start)
+        end = start + num_slots * slot_us
         self.engine.run_until(end)
         # Drain: let in-flight DAGs finish (bounded by 4 deadlines).
         drain_limit = end + 4 * self.pool_config.deadline_us
@@ -350,6 +445,7 @@ class Simulation:
             pool=self.pool,
             harq=self._harq_stats(),
             telemetry=self._telemetry(),
+            scenario=self.scenario.to_dict(),
         )
 
     def _telemetry(self) -> dict:

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.engine import Engine, SimulationError
+from repro.sim.engine import Engine, SimulationError, _DONE
 
 
 class TestScheduling:
@@ -142,3 +142,118 @@ def test_cancellation_property(entries):
             event.cancel()
     eng.run()
     assert sorted(fired) == sorted(expected)
+
+
+class TestScheduleEvery:
+    def test_fires_at_fixed_rate(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_every(10.0, lambda: fired.append(eng.now))
+        eng.run_until(45.0)
+        assert fired == [10.0, 20.0, 30.0, 40.0]
+
+    def test_explicit_start(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_every(10.0, lambda: fired.append(eng.now), start=0.0)
+        eng.run_until(25.0)
+        assert fired == [0.0, 10.0, 20.0]
+
+    def test_non_positive_period_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_every(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            Engine().schedule_every(-5.0, lambda: None)
+
+    def test_start_in_past_raises(self):
+        eng = Engine()
+        eng.schedule_at(10.0, lambda: None)
+        eng.run_until(10.0)
+        with pytest.raises(SimulationError):
+            eng.schedule_every(5.0, lambda: None, start=1.0)
+
+    def test_cancel_stops_future_firings(self):
+        eng = Engine()
+        fired = []
+        event = eng.schedule_every(10.0, lambda: fired.append(eng.now))
+        eng.run_until(25.0)
+        event.cancel()
+        eng.run_until(100.0)
+        assert fired == [10.0, 20.0]
+        assert eng.pending_count() == 0
+
+    def test_callback_can_cancel_own_timer(self):
+        eng = Engine()
+        fired = []
+        holder = {}
+
+        def tick():
+            fired.append(eng.now)
+            if len(fired) == 3:
+                holder["event"].cancel()
+
+        holder["event"] = eng.schedule_every(10.0, tick)
+        eng.run_until(200.0)
+        assert fired == [10.0, 20.0, 30.0]
+        assert eng.pending_count() == 0
+
+    def test_single_heap_entry_reused(self):
+        eng = Engine()
+        eng.schedule_every(10.0, lambda: None)
+        eng.run_until(95.0)
+        assert eng.pending_count() == 1
+        assert len(eng._heap) == 1
+
+
+class TestPendingCountAccounting:
+    def test_counts_live_events_only(self):
+        eng = Engine()
+        events = [eng.schedule_at(float(t), lambda: None)
+                  for t in range(1, 6)]
+        assert eng.pending_count() == 5
+        events[0].cancel()
+        events[3].cancel()
+        assert eng.pending_count() == 3
+
+    def test_cancel_then_pop_is_counted_once(self):
+        # Cancelling marks the heap entry dead but leaves it queued;
+        # popping the dead entry later must not decrement again.
+        eng = Engine()
+        event = eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(2.0, lambda: None)
+        event.cancel()
+        assert eng.pending_count() == 1
+        eng.run()  # pops the cancelled entry and the live one
+        assert eng.pending_count() == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        eng = Engine()
+        event = eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(2.0, lambda: None)
+        eng.step()  # fires the first event
+        event.cancel()  # late cancel of an already-fired event
+        assert eng.pending_count() == 1
+
+    def test_double_cancel_decrements_once(self):
+        eng = Engine()
+        event = eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert eng.pending_count() == 1
+
+    def test_matches_brute_force_over_mixed_workload(self):
+        eng = Engine()
+        fired = []
+        periodic = eng.schedule_every(7.0, lambda: fired.append(eng.now))
+        one_shots = [eng.schedule_at(float(t), lambda: None)
+                     for t in range(1, 20, 3)]
+        one_shots[2].cancel()
+        eng.run_until(10.0)
+        live = [e for e in eng._heap if e[2] is not None
+                and e[2] is not _DONE]
+        assert eng.pending_count() == len(live)
+        periodic.cancel()
+        eng.run_until(30.0)
+        assert eng.pending_count() == sum(
+            1 for e in eng._heap if e[2] is not None and e[2] is not _DONE)

@@ -80,7 +80,7 @@ class TestConfigTables:
 
     def test_direction_share_sums_to_one_ish(self):
         cell = cell_100mhz_tdd()
-        total = cell._direction_share(True) + cell._direction_share(False)
+        total = cell.direction_share(True) + cell.direction_share(False)
         assert total == pytest.approx(1.0, abs=0.05)
 
 
