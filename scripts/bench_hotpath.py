@@ -1,137 +1,18 @@
 #!/usr/bin/env python
-"""Hot-path benchmark and CI perf guard for the slot pipeline.
+"""Thin wrapper around :mod:`repro.bench` (kept for CI and muscle memory).
 
-Runs a Fig. 11-style simulation (20 MHz / 7 cells, collocated Redis,
-``concordia-noml`` so no training rides on the measurement) and reports
-wall-clock plus throughput in simulated slots per second.  Two uses:
-
-* **benchmarking** — ``PYTHONPATH=src python scripts/bench_hotpath.py``
-  prints best-of-N wall/slots-per-second for the current tree;
-* **CI regression guard** — ``--check results/bench_hotpath_baseline.json``
-  compares against a recorded baseline and exits non-zero when
-  throughput regressed by more than ``--tolerance`` (default 25 %).
-  ``--write-baseline`` records the current tree as the new baseline.
-
-The recorded baseline carries the machine's single-core reference so
-wildly different hardware is flagged rather than silently failed; CI
-runners of the same class are comparable within the tolerance.
-
-Exit code 0 when within budget, 1 when the guard trips.
+The benchmark, the CI regression guard and the ``--profile`` mode all
+live in ``src/repro/bench.py`` and are also reachable as
+``repro bench``; see that module's docstring for usage.
 """
 
-from __future__ import annotations
-
-import argparse
-import json
-import pathlib
-import platform
+import os
 import sys
-import time
 
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"))
 
-def calibrate_reference() -> float:
-    """Cheap single-core reference score (higher = faster machine).
-
-    A fixed pure-Python workload, timed: used only to annotate
-    baselines so cross-machine comparisons can be recognized.
-    """
-    start = time.perf_counter()
-    acc = 0
-    for i in range(2_000_000):
-        acc += i * 3 // 7
-    wall = time.perf_counter() - start
-    return round(1.0 / wall, 3)
-
-
-def timed_run(slots: int, seed: int) -> tuple[float, object]:
-    """One Fig. 11-style simulation; returns (wall_s, result)."""
-    from repro.scenario import Scenario, build_simulation
-
-    scenario = Scenario(
-        pool={"name": "20mhz"},
-        policy="concordia-noml",
-        workload="redis",
-        load_fraction=0.5,
-        seed=seed,
-    )
-    simulation = build_simulation(scenario)
-    start = time.perf_counter()
-    result = simulation.run(slots)
-    return time.perf_counter() - start, result
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--slots", type=int, default=600)
-    parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--rounds", type=int, default=3,
-                        help="timed rounds (best-of)")
-    parser.add_argument("--check", default=None,
-                        help="baseline JSON to guard against")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="max fractional slowdown vs the baseline")
-    parser.add_argument("--write-baseline", default=None,
-                        help="record the current tree as baseline JSON")
-    parser.add_argument("--json", action="store_true",
-                        help="emit machine-readable JSON")
-    args = parser.parse_args(argv)
-
-    walls = []
-    result = None
-    for _ in range(args.rounds):
-        wall, result = timed_run(args.slots, args.seed)
-        walls.append(wall)
-    best = min(walls)
-    slots_per_s = args.slots / best
-    report = {
-        "slots": args.slots,
-        "seed": args.seed,
-        "rounds": args.rounds,
-        "wall_s_best": round(best, 3),
-        "wall_s_all": [round(w, 3) for w in walls],
-        "slots_per_s": round(slots_per_s, 1),
-        "p99999_us": round(result.latency.p99999_us, 1),
-        "machine_reference": calibrate_reference(),
-        "python": platform.python_version(),
-    }
-
-    if not args.json:
-        print(f"fig11-style hot path: {args.slots} slots in "
-              f"{best:.2f}s best-of-{args.rounds} "
-              f"({slots_per_s:,.0f} slots/s)")
-
-    status = 0
-    if args.check:
-        baseline = json.loads(pathlib.Path(args.check).read_text())
-        floor = baseline["slots_per_s"] * (1.0 - args.tolerance)
-        report["baseline_slots_per_s"] = baseline["slots_per_s"]
-        report["floor_slots_per_s"] = round(floor, 1)
-        ratio = slots_per_s / baseline["slots_per_s"]
-        report["ratio_vs_baseline"] = round(ratio, 3)
-        if not args.json:
-            print(f"baseline {baseline['slots_per_s']:,.0f} slots/s "
-                  f"(machine ref {baseline.get('machine_reference')} vs "
-                  f"{report['machine_reference']}); "
-                  f"current/baseline = {ratio:.2f}x, "
-                  f"floor {floor:,.0f} slots/s")
-        if slots_per_s < floor:
-            print("FAIL: hot-path throughput regressed beyond "
-                  f"{args.tolerance:.0%} budget", file=sys.stderr)
-            status = 1
-        elif not args.json:
-            print("OK")
-
-    if args.write_baseline:
-        path = pathlib.Path(args.write_baseline)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(report, indent=2) + "\n")
-        if not args.json:
-            print(f"baseline -> {path}")
-
-    if args.json:
-        print(json.dumps(report, indent=2))
-    return status
-
+from repro.bench import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -14,6 +14,8 @@ Commands:
 * ``postmortem`` — run one simulation and audit its worst slot:
   which of wakeup latency, WCET under-prediction or cross-cell
   queueing dominated the (near-)miss;
+* ``bench``   — hot-path throughput benchmark / CI guard / profiler
+  (see :mod:`repro.bench`);
 * ``list``    — enumerate available policies, workloads and figures.
 """
 
@@ -24,6 +26,7 @@ import json
 import sys
 from typing import Optional
 
+from . import bench
 from .experiments import (
     dag_structure,
     fig03_traffic,
@@ -171,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="audit this DAG id instead of the worst")
     pm_cmd.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
+
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="hot-path throughput benchmark, CI guard and profiler")
+    bench.add_bench_arguments(bench_cmd)
 
     sub.add_parser("list", help="list policies, workloads and figures")
     return parser
@@ -447,6 +455,7 @@ def main(argv: Optional[list] = None) -> int:
         "figure": _cmd_figure,
         "trace": _cmd_trace,
         "postmortem": _cmd_postmortem,
+        "bench": bench.run_bench,
         "list": _cmd_list,
     }
     try:

@@ -47,7 +47,8 @@ class _DagState:
     """Incrementally maintained scheduling state of one active DAG."""
 
     __slots__ = ("dag", "work_us", "critical_path_us", "computed_at",
-                 "running", "frontier", "cores_ratchet", "util_ratchet")
+                 "running", "frontier", "cores_ratchet", "util_ratchet",
+                 "util_ceil", "deadline_us")
 
     def __init__(self, dag: DagInstance) -> None:
         self.dag = dag
@@ -61,6 +62,13 @@ class _DagState:
         # until the DAG completes (cores are still freed on completion).
         self.cores_ratchet = 0
         self.util_ratchet = 0.0
+        #: Cached ``math.ceil(util_ratchet)``, updated when the ratchet
+        #: rises — the heavy/light classification reads it every 20 µs
+        #: tick, the ratchet changes orders of magnitude less often.
+        self.util_ceil = 0
+        #: The DAG's deadline, copied so the tick loop does one
+        #: attribute load instead of chasing state.dag.deadline_us.
+        self.deadline_us = dag.deadline_us
         # Ready/running tasks -> their longest path to a sink.  The
         # remaining critical path is the max over this frontier, which
         # is O(parallelism) instead of O(V+E) to maintain.
@@ -150,21 +158,25 @@ class ConcordiaScheduler(SchedulerPolicy):
             state.critical_path_us = critical
             state.computed_at = now
             self._states[dag.dag_id] = state
+            # The per-task hooks read the state off the DAG itself: an
+            # attribute load instead of a dict lookup, three times per
+            # task.  The dict remains the tick loop's registry.
+            dag.policy_state = state
         self._prediction_wall.value += time.perf_counter() - start
         self._prediction_calls.value += 1
         self._reschedule(now, kind="slot_start")
 
     def on_task_enqueued(self, task: TaskInstance) -> None:
-        state = self._states.get(task.dag.dag_id)
+        state = task.dag.policy_state
         if state is None:
             return
         state.frontier[task.task_id] = task.path_us
         if task.path_us > state.critical_path_us:
             state.critical_path_us = task.path_us
-            state.computed_at = self.pool.now
+            state.computed_at = self.pool.engine._now
 
     def on_task_started(self, task: TaskInstance) -> None:
-        state = self._states.get(task.dag.dag_id)
+        state = task.dag.policy_state
         if state is not None:
             state.running += 1
 
@@ -174,20 +186,24 @@ class ConcordiaScheduler(SchedulerPolicy):
         if self.predictor is not None:
             self.predictor.observe_task(task)
         dag = task.dag
-        state = self._states.get(dag.dag_id)
+        state = dag.policy_state
         if state is None:
             return
         state.running -= 1
         if dag.tasks_remaining == 0:
+            dag.policy_state = None
             del self._states[dag.dag_id]
             return
-        state.work_us = max(0.0, state.work_us - task.predicted_wcet_us)
-        state.frontier.pop(task.task_id, None)
+        work = state.work_us - task.predicted_wcet_us
+        state.work_us = work if work > 0.0 else 0.0
+        frontier = state.frontier
+        frontier.pop(task.task_id, None)
         # Successors enter the frontier via on_task_enqueued (the pool
         # enqueues them before this hook fires), so the max is current.
-        critical = max(state.frontier.values(), default=0.0)
-        state.critical_path_us = critical
-        state.computed_at = self.pool.now
+        # Direct engine-clock read: this hook fires once per completed
+        # task, and the pool.now property chain showed up in profiles.
+        state.critical_path_us = max(frontier.values()) if frontier else 0.0
+        state.computed_at = self.pool.engine._now
 
     def on_tick(self, now: float) -> None:
         self._reschedule(now)
@@ -201,37 +217,49 @@ class ConcordiaScheduler(SchedulerPolicy):
         light_utilization = 0.0
         critical = False
         tick_us = self.tick_interval_us
+        ceil = math.ceil
+        # This loop runs every 20 µs over every active DAG; branchy
+        # if-comparisons replace max() calls and the heavy/light test
+        # reads the cached util_ceil.  light_utilization MUST keep
+        # accumulating in state-insertion order each tick: float
+        # addition is order-sensitive, and a differently-ordered sum
+        # could flip a ceil() at an ULP boundary — so the aggregates
+        # are *recomputed* per tick (cheaply), not incrementalized.
         for state in self._states.values():
             path = state.critical_path_us
             if state.running > 0:
-                path = max(0.0, path - (now - state.computed_at))
-            work = max(state.work_us, path)
-            slack = state.dag.deadline_us - now
+                path -= now - state.computed_at
+                if path < 0.0:
+                    path = 0.0
+            work = state.work_us
+            if work < path:
+                work = path
+            slack = state.deadline_us - now
             # Inline of core.federated.federated_core_demand (the
             # reference implementation and its rationale live there):
             # allocating a CoreDemand per DAG per 20 µs tick dominated
             # this loop's profile.
-            if work == 0.0:
-                cores = 0
-            elif slack <= path + tick_us:
-                critical = True
-                break
-            else:
-                cores = math.ceil((work - path) / (slack - path))
-                if cores < 1:
-                    cores = 1
-            if cores > 1:
-                state.cores_ratchet = max(state.cores_ratchet, cores)
-            elif cores == 1:
-                # Light DAG: sequentially feasible; packed by utilization.
-                state.util_ratchet = max(state.util_ratchet,
-                                         work / max(slack, 1e-9))
+            if work != 0.0:
+                if slack <= path + tick_us:
+                    critical = True
+                    break
+                cores = ceil((work - path) / (slack - path))
+                if cores > 1:
+                    if cores > state.cores_ratchet:
+                        state.cores_ratchet = cores
+                else:
+                    # Light DAG: sequentially feasible; packed by
+                    # utilization.
+                    util = work / (slack if slack > 1e-9 else 1e-9)
+                    if util > state.util_ratchet:
+                        state.util_ratchet = util
+                        state.util_ceil = ceil(util)
             # A DAG holds ONE reservation: the larger of its ratchets.
             # Summing both double-counts a DAG that transitioned
             # heavy->light (the held dedicated cores already cover the
             # light phase), inflating reservations and under-reporting
             # reclaimed CPU in Fig. 8a.
-            if state.cores_ratchet > math.ceil(state.util_ratchet):
+            if state.cores_ratchet > state.util_ceil:
                 heavy_cores += state.cores_ratchet
             else:
                 light_utilization += state.util_ratchet
@@ -240,10 +268,12 @@ class ConcordiaScheduler(SchedulerPolicy):
             self._demand_window.clear()
             demand_cores = pool.num_cores
         else:
-            demand_cores = heavy_cores + math.ceil(light_utilization)
+            demand_cores = heavy_cores + ceil(light_utilization)
             demand_cores = self._held_demand(now, demand_cores)
-            # Compensate for signalled cores stuck in kernel sections.
-            overdue = pool.overdue_waking(self.wakeup_overdue_us)
+            # Compensate for signalled cores stuck in kernel sections
+            # (skip the call outright when no worker is waking).
+            overdue = pool.overdue_waking(self.wakeup_overdue_us) \
+                if pool._waking else 0
             target = min(pool.num_cores,
                          max(demand_cores + overdue, self.min_standby_cores))
         self._scheduling_wall.value += time.perf_counter() - start
@@ -252,7 +282,10 @@ class ConcordiaScheduler(SchedulerPolicy):
         if bus is not None and bus.enabled:
             bus.record(REC_TICK, now, kind, demand_cores, target,
                        len(self._states), critical)
-        pool.request_cores(target)
+        # request_cores(target) is a no-op when the target is unchanged
+        # and fully applied — the steady state for most 20 µs ticks.
+        if target != pool.target_cores or pool._reserved != target:
+            pool.request_cores(target)
 
     def _held_demand(self, now: float, demand: int) -> int:
         """Max demand over the trailing release-hold window.

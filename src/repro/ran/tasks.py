@@ -33,6 +33,7 @@ from .ue import SlotLoad
 
 __all__ = [
     "TaskType",
+    "TYPE_CODE",
     "FEATURE_NAMES",
     "NUM_FEATURES",
     "TaskInstance",
@@ -64,6 +65,11 @@ class TaskType(enum.Enum):
     PRECODING = "precoding"
     IFFT = "ifft"
 
+
+#: Stable small-int codes for the vectorized cost path
+#: (:meth:`CostModel.base_costs_batch`); order follows declaration.
+_TYPE_LIST = tuple(TaskType)
+TYPE_CODE = {t: i for i, t in enumerate(_TYPE_LIST)}
 
 UL_TASK_TYPES = (
     TaskType.FFT,
@@ -162,6 +168,13 @@ class TaskInstance:
     #: Presampled cache-interference tail magnitude, applied iff
     #: ``cache_u`` lands under the tail probability.
     cache_tail: float = 1.0
+    #: Whether this task type suffers multi-core memory stalls
+    #: (precomputed: the frozenset membership test costs an enum hash
+    #: on every :meth:`CostModel.sample_runtime` call otherwise).
+    memory_bound: bool = False
+
+    def __post_init__(self) -> None:
+        self.memory_bound = self.task_type in _MEMORY_BOUND_TYPES
 
     def feature(self, name: str) -> float:
         return float(self.features[FEATURE_INDEX[name]])
@@ -291,6 +304,73 @@ class CostModel:
             return 2.0 + 0.08 * prbs * antennas
         raise ValueError(f"unknown task type {t}")
 
+    def base_costs_batch(
+        self,
+        type_codes: np.ndarray,
+        *,
+        prbs: np.ndarray,
+        antennas: np.ndarray,
+        slot_bytes: np.ndarray,
+        task_codeblocks: np.ndarray,
+        task_bytes: np.ndarray,
+        snr_margin_db: np.ndarray,
+        code_rate: np.ndarray,
+        prb_share: np.ndarray,
+        layers: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`base_cost_us` over parallel task arrays.
+
+        ``type_codes`` holds :data:`TYPE_CODE` values; all other inputs
+        are float64 arrays of the same length (per-DAG constants like
+        ``prbs`` pre-expanded by the caller).  Each element is computed
+        with the *same operation order* as the scalar method, so the
+        results are bit-identical — numpy's elementwise float64 ops are
+        the identical IEEE-754 operations, just dispatched once per
+        task-type group instead of once per task.
+        """
+        out = np.empty(type_codes.shape[0], dtype=np.float64)
+        for code in np.unique(type_codes):
+            idx = np.nonzero(type_codes == code)[0]
+            t = _TYPE_LIST[code]
+            if t is TaskType.FFT or t is TaskType.IFFT:
+                out[idx] = 2.0 + 0.04 * prbs[idx] * antennas[idx]
+            elif t is TaskType.CHANNEL_ESTIMATION:
+                out[idx] = 4.0 + 0.08 * prbs[idx] * prb_share[idx] \
+                    * antennas[idx]
+            elif t is TaskType.EQUALIZATION:
+                out[idx] = 3.0 + 0.05 * prbs[idx] * prb_share[idx] \
+                    * np.maximum(1, layers[idx])
+            elif t is TaskType.DEMODULATION:
+                out[idx] = 2.0 + 0.0025 * task_bytes[idx]
+            elif t is TaskType.DESCRAMBLING or t is TaskType.SCRAMBLING:
+                out[idx] = 1.0 + 0.0003 * task_bytes[idx]
+            elif t is TaskType.RATE_DEMATCH:
+                out[idx] = 1.0 + 0.0010 * task_bytes[idx]
+            elif t is TaskType.LDPC_DECODE:
+                shortfall = np.minimum(
+                    np.maximum(0.0, 5.0 - snr_margin_db[idx]), 6.0)
+                per_cb = _DECODE_US_PER_CB * (1.0 + 0.12 * shortfall)
+                per_cb = per_cb * (
+                    1.0 + 0.35 * np.maximum(0.0, 0.8 - code_rate[idx]))
+                out[idx] = 2.0 + per_cb * task_codeblocks[idx]
+            elif t is TaskType.CRC_CHECK:
+                out[idx] = 1.0 + 0.0004 * slot_bytes[idx]
+            elif t is TaskType.CRC_ATTACH:
+                out[idx] = 1.0 + 0.0002 * slot_bytes[idx]
+            elif t is TaskType.LDPC_ENCODE:
+                per_cb = _ENCODE_US_PER_CB * (
+                    1.0 + 0.3 * np.maximum(0.0, 0.8 - code_rate[idx]))
+                out[idx] = 1.0 + per_cb * task_codeblocks[idx]
+            elif t is TaskType.RATE_MATCH:
+                out[idx] = 1.0 + 0.0004 * task_bytes[idx]
+            elif t is TaskType.MODULATION:
+                out[idx] = 2.0 + 0.0009 * task_bytes[idx]
+            elif t is TaskType.PRECODING:
+                out[idx] = 2.0 + 0.08 * prbs[idx] * antennas[idx]
+            else:
+                raise ValueError(f"unknown task type code {code}")
+        return out
+
     # -- stochastic sampling ----------------------------------------------
 
     def core_penalty(self, task_type: TaskType, active_cores: int) -> float:
@@ -326,7 +406,7 @@ class CostModel:
         base = task.base_cost_us
         # Inline of core_penalty(): one method call per task execution
         # is measurable on the hot path.
-        if active_cores > 1 and task.task_type in _MEMORY_BOUND_TYPES:
+        if active_cores > 1 and task.memory_bound:
             spread = (active_cores - 1) * 0.2
             base *= 1.0 + _MAX_CORE_PENALTY * (
                 1.0 if spread >= 1.0 else spread)

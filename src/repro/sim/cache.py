@@ -53,7 +53,10 @@ class CacheInterferenceModel:
         # several tasks at one engine time, and the EWMA only moves on
         # record_scheduling_event, so the decayed value is constant
         # in between.
-        self._churn_memo: tuple[float, float] = (-1.0, 0.0)
+        # (two scalar fields, not a tuple: the memo is checked once per
+        # task start and the tuple pack/unpack was measurable)
+        self._churn_memo_now = -1.0
+        self._churn_memo_val = 0.0
         # Running statistics for the Fig. 9 perf-counter proxies.
         self._stall_samples = 0
         self._stall_sum = 0.0
@@ -69,7 +72,7 @@ class CacheInterferenceModel:
         if self._last_event_us is None:
             self._last_event_us = now_us
             self._churn_rate_per_ms = 1.0 / (_CHURN_TAU_US / 1000.0)
-            self._churn_memo = (-1.0, 0.0)
+            self._churn_memo_now = -1.0
             return
         dt = max(now_us - self._last_event_us, 1e-6)
         decay = math.exp(-dt / _CHURN_TAU_US)
@@ -78,7 +81,7 @@ class CacheInterferenceModel:
             decay * self._churn_rate_per_ms + (1.0 - decay) * instantaneous
         )
         self._last_event_us = now_us
-        self._churn_memo = (-1.0, 0.0)
+        self._churn_memo_now = -1.0
 
     def decayed_churn(self, now_us: float) -> float:
         """Churn EWMA decayed to ``now_us`` without adding an event."""
@@ -89,12 +92,12 @@ class CacheInterferenceModel:
 
     def churn_factor(self, now_us: float) -> float:
         """Normalized churn in [0, 1]."""
-        memo_now, memo_value = self._churn_memo
-        if memo_now == now_us:
-            return memo_value
+        if self._churn_memo_now == now_us:
+            return self._churn_memo_val
         value = min(1.0,
                     self.decayed_churn(now_us) / _CHURN_SATURATION_PER_MS)
-        self._churn_memo = (now_us, value)
+        self._churn_memo_now = now_us
+        self._churn_memo_val = value
         return value
 
     # -- interference sampling -------------------------------------------------
@@ -133,7 +136,26 @@ class CacheInterferenceModel:
         probability here yields the same distribution as drawing at
         execution time, while computing churn only once per call.
         """
-        churn = self.churn_factor(now_us)
+        # Inline of churn_factor()/decayed_churn(): this runs once per
+        # task start, and the two-call chain plus max() showed up in
+        # the Fig. 15a hot-path profile.  Values are identical.
+        if self._churn_memo_now == now_us:
+            churn = self._churn_memo_val
+        else:
+            last = self._last_event_us
+            if last is None:
+                churn = 0.0
+            else:
+                dt = now_us - last
+                if dt < 0.0:
+                    dt = 0.0
+                decayed = self._churn_rate_per_ms * math.exp(
+                    -dt / _CHURN_TAU_US)
+                churn = decayed / _CHURN_SATURATION_PER_MS
+                if churn > 1.0:
+                    churn = 1.0
+            self._churn_memo_now = now_us
+            self._churn_memo_val = churn
         stall = 0.55 * self.pressure * churn * churn  # == stall_increase
         self._stall_samples += 1
         self._stall_sum += stall

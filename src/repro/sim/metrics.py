@@ -109,7 +109,12 @@ class Metrics:
 
     def on_running_change(self, now_us: float, running: int) -> None:
         """Called whenever the number of cores executing tasks changes."""
-        self._advance(now_us)
+        # Inline of _advance(): one call per task completion.
+        dt = now_us - self._last_change_us
+        if dt > 0:
+            self.reserved_core_time_us += dt * self._reserved_cores
+            self.busy_core_time_us += dt * self._running_cores
+            self._last_change_us = now_us
         self._running_cores = running
 
     def finalize(self, now_us: float) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+from functools import partial
 from typing import Optional
 
 import numpy as np
@@ -46,17 +47,25 @@ class Worker:
     """One worker thread pinned to one CPU core."""
 
     __slots__ = ("core_id", "state", "current_task", "wake_signaled_at",
-                 "wake_event", "pinned_task")
+                 "pinned_task", "finish_timer", "wake_timer", "order_pos")
 
     def __init__(self, core_id: int) -> None:
         self.core_id = core_id
         self.state = WorkerState.SPINNING
         self.current_task: Optional[TaskInstance] = None
         self.wake_signaled_at: Optional[float] = None
-        self.wake_event = None
         #: Task bound to this worker's queue while it wakes up
         #: (per-worker queue affinity; see SchedulerPolicy docs).
         self.pinned_task: Optional[TaskInstance] = None
+        #: Reusable engine timers (one heap entry each, re-keyed per
+        #: firing): task completion and wakeup completion.  A worker
+        #: runs at most one task and one wakeup at a time, so a single
+        #: entry per event kind covers the worker's whole lifetime.
+        self.finish_timer = None
+        self.wake_timer = None
+        #: Position of this worker in the pool's rotated preference
+        #: order; keys the spinning/yielded free-bitmaps.
+        self.order_pos = core_id
 
 
 class VranPool:
@@ -87,6 +96,10 @@ class VranPool:
             Metrics(config.num_cores)
 
         self.workers = [Worker(i) for i in range(config.num_cores)]
+        for worker in self.workers:
+            worker.finish_timer = engine.timer(
+                partial(self._finish, worker))
+            worker.wake_timer = engine.timer(partial(self._awake, worker))
         self._order = list(self.workers)  # rotated preference order
         # Incremental state counters (hot path; avoid O(cores) scans).
         self._reserved = config.num_cores
@@ -94,6 +107,14 @@ class VranPool:
         self._waking = 0
         self._spinning = config.num_cores
         self._pinned = 0
+        # Free-list bitmaps keyed by preference-order position: bit i
+        # set <=> self._order[i] is SPINNING (resp. YIELDED).  Lowest
+        # set bit = most-preferred free worker, so EDF dispatch and
+        # wakeup selection are O(1) per task instead of an O(cores)
+        # scan; highest set bit serves _apply_target's release path,
+        # which scans the order backwards.
+        self._spin_bits = (1 << config.num_cores) - 1
+        self._yield_bits = 0
         self._ready: list[tuple[float, int, TaskInstance]] = []
         self._seq = itertools.count()
         self.target_cores = config.num_cores
@@ -116,6 +137,13 @@ class VranPool:
         #: Optional callback fired with each completed TaskInstance
         #: (used by offline profiling to collect training datasets).
         self.task_observer = None
+        #: Optional callback fired with each completed DagInstance so
+        #: its task objects can be recycled (repro.ran.dag.DagBuilder's
+        #: instance pool).  Recycling is skipped while a task_observer
+        #: is attached: observers may retain task references past the
+        #: DAG's lifetime (profiling/training/tracing), and pooled
+        #: tasks must never outlive their DAG.
+        self.dag_recycler = None
         #: Optional hardware accelerator (repro.accel) that executes
         #: offloaded task types instead of the CPU workers (§7).
         self.accelerator = None
@@ -227,13 +255,16 @@ class VranPool:
             self.active_dags.append(dag)
             for task in dag.entry_tasks():
                 self._enqueue(task)
+        running_before = self._running
         self._dispatch()
+        if self._running != running_before:
+            self.metrics.on_running_change(self.now, self._running)
 
     def _enqueue(self, task: TaskInstance) -> None:
         # No event here: the task's single "task_done" record (emitted
         # at completion) carries enqueue_time, so the hot path stays at
         # one record per task.
-        task.enqueue_time = self.now
+        task.enqueue_time = self.engine._now
         if self.accelerator is not None and \
                 task.task_type in self.accelerator.offloaded_types:
             # Offloaded tasks bypass the EDF queue (and therefore the
@@ -253,37 +284,66 @@ class VranPool:
         free to take it right now (per-worker queue affinity)."""
         if self._spinning:
             return False  # someone can take it immediately
-        for worker in self._order:
-            if worker.state is WorkerState.YIELDED:
-                worker.pinned_task = task
-                self._pinned += 1
-                self._wake(worker)
-                return True
-        return False
+        bits = self._yield_bits
+        if not bits:
+            return False
+        worker = self._order[(bits & -bits).bit_length() - 1]
+        worker.pinned_task = task
+        self._pinned += 1
+        self._wake(worker)
+        return True
 
     def _dispatch(self) -> None:
-        """Hand ready tasks to spinning workers (EDF order)."""
+        """Hand ready tasks to spinning workers (EDF order).
+
+        Each iteration pairs the earliest-deadline task with the
+        most-preferred spinning worker (lowest set bit of the spinning
+        bitmap), so dispatch is O(1) per started task.  The body of
+        :meth:`_start` is inlined here — this loop starts every
+        non-pinned task in the simulation, and the call itself was
+        measurable; keep the two in sync (``_awake`` still uses
+        ``_start`` for pinned tasks).
+        """
         ready = self._ready
-        if not ready or not self._spinning:
-            return
-        spinning = WorkerState.SPINNING
+        order = self._order
         pop = heapq.heappop
-        for worker in self._order:
-            if not ready:
+        now = self.engine._now
+        running_state = WorkerState.RUNNING
+        cache_model = self.cache_model
+        sample_runtime = self.cost_model.sample_runtime
+        on_task_started = self.policy.on_task_started
+        while ready:
+            bits = self._spin_bits
+            if not bits:
                 break
-            if worker.state is spinning:
-                __, __, task = pop(ready)
-                self._start(worker, task)
-                if not self._spinning:
-                    break
+            __, __, task = pop(ready)
+            worker = order[(bits & -bits).bit_length() - 1]
+            worker.state = running_state
+            self._running += 1
+            self._spinning -= 1
+            self._spin_bits = bits & ~(bits & -bits)
+            worker.current_task = task
+            task.start_time = now
+            if task.cache_u is not None:
+                mean_mult, tail_mult = cache_model.multipliers_for(
+                    now, task.cache_u, task.cache_tail
+                )
+            else:
+                mean_mult, tail_mult = cache_model.sample_multipliers(now)
+            runtime = sample_runtime(task, self._running, mean_mult,
+                                     tail_mult)
+            task.runtime_us = runtime
+            on_task_started(task)
+            worker.finish_timer.arm(runtime)
 
     # -- task execution ----------------------------------------------------------
 
     def _start(self, worker: Worker, task: TaskInstance) -> None:
-        now = self.engine.now
+        now = self.engine._now
         worker.state = WorkerState.RUNNING
         self._running += 1
         self._spinning -= 1
+        self._spin_bits &= ~(1 << worker.order_pos)
         worker.current_task = task
         task.start_time = now
         # Per-task randomness is presampled at DAG build (stoch_mult,
@@ -295,28 +355,33 @@ class VranPool:
             )
         else:
             mean_mult, tail_mult = self.cache_model.sample_multipliers(now)
+        # Positional call: keyword binding costs on a per-task call.
         runtime = self.cost_model.sample_runtime(
-            task,
-            active_cores=self._running,
-            interference_multiplier=mean_mult,
-            tail_multiplier=tail_mult,
-        )
+            task, self._running, mean_mult, tail_mult)
         task.runtime_us = runtime
-        self.metrics.on_running_change(now, self._running)
         self.policy.on_task_started(task)
-        self.engine.schedule_after(runtime, lambda: self._finish(worker, task))
+        # One reusable heap entry per worker (engine Timer): no Event,
+        # entry list or closure allocation on the per-task hot path.
+        worker.finish_timer.arm(runtime)
 
-    def _finish(self, worker: Worker, task: TaskInstance) -> None:
-        now = self.engine.now
+    def _finish(self, worker: Worker) -> None:
+        now = self.engine._now
+        task = worker.current_task
         worker.current_task = None
         worker.state = WorkerState.SPINNING
         self._running -= 1
         self._spinning += 1
+        self._spin_bits |= 1 << worker.order_pos
         self._complete_task(task, now, core=worker.core_id)
-        self.metrics.on_running_change(now, self.running_count)
         self.policy.on_task_finished(task)
-        self._dispatch()
-        self._apply_target()
+        if self._ready:
+            self._dispatch()
+        # Coalesced running-cores sample: _finish and any same-timestamp
+        # re-dispatch it triggers emit ONE metrics update with the final
+        # running count instead of one per intermediate state.
+        self.metrics.on_running_change(now, self._running)
+        if self._reserved != self.target_cores:
+            self._apply_target()
 
     def complete_offloaded(self, task: TaskInstance) -> None:
         """Accelerator hand-back: run the shared completion bookkeeping.
@@ -328,7 +393,10 @@ class VranPool:
         now = self.now
         self._complete_task(task, now)
         self.policy.on_task_finished(task)
+        running_before = self._running
         self._dispatch()
+        if self._running != running_before:
+            self.metrics.on_running_change(now, self._running)
         self._apply_target()
 
     def _complete_task(self, task: TaskInstance, now: float,
@@ -336,9 +404,11 @@ class VranPool:
         task.finish_time = now
         dag = task.dag
         dag.tasks_remaining -= 1
-        self.metrics.on_task_complete(
-            task.task_type.value, task.predicted_wcet_us, task.runtime_us
-        )
+        metrics = self.metrics
+        if metrics.record_tasks:
+            metrics.on_task_complete(
+                task.task_type.value, task.predicted_wcet_us, task.runtime_us
+            )
         bus = self.event_bus
         if bus is not None and bus.enabled:
             # One record per task, at finish: enqueue/start/finish as
@@ -362,6 +432,14 @@ class VranPool:
                 self.active_dags.remove(dag)
             except ValueError:
                 pass
+            # Hand the completed DAG back to its builder's instance
+            # pool.  Reset is lazy (at re-acquisition), so hooks that
+            # run after this — the policy's finish hook reading
+            # task.dag, the successors loop below — still see intact
+            # fields; by the next slot boundary nothing references
+            # this DAG's tasks any more.
+            if self.dag_recycler is not None and self.task_observer is None:
+                self.dag_recycler(dag)
         # Observers run after the DAG bookkeeping so they can see
         # completion state (e.g. dag.latency_us on the final task).
         if self.task_observer is not None:
@@ -388,27 +466,27 @@ class VranPool:
         if reserved == self.target_cores:
             return
         if reserved < self.target_cores:
+            # Wake the most-preferred yielded workers (lowest set bits).
             deficit = self.target_cores - reserved
-            for worker in self._order:
-                if deficit == 0:
-                    break
-                if worker.state is WorkerState.YIELDED:
-                    self._wake(worker)
-                    deficit -= 1
+            order = self._order
+            while deficit and self._yield_bits:
+                bits = self._yield_bits
+                self._wake(order[(bits & -bits).bit_length() - 1])
+                deficit -= 1
         else:
+            # Release idle (spinning) workers only, least-preferred
+            # (highest set bit) first — mirrors the old reverse scan.
             excess = reserved - self.target_cores
-            # Release idle (spinning) workers only.
-            for worker in reversed(self._order):
-                if excess == 0:
-                    break
-                if worker.state is WorkerState.SPINNING:
-                    self._yield(worker)
-                    excess -= 1
+            order = self._order
+            while excess and self._spin_bits:
+                self._yield(order[self._spin_bits.bit_length() - 1])
+                excess -= 1
 
     def _wake(self, worker: Worker) -> None:
         worker.state = WorkerState.WAKING
         self._reserved += 1
         self._waking += 1
+        self._yield_bits &= ~(1 << worker.order_pos)
         worker.wake_signaled_at = self.now
         latency = self.os_model.sample(self.collocation_active)
         self.metrics.on_wakeup(latency)
@@ -428,9 +506,7 @@ class VranPool:
                        worker.core_id, self.reserved_count,
                        self.target_cores)
         self._notify_available()
-        worker.wake_event = self.engine.schedule_after(
-            latency, lambda: self._awake(worker)
-        )
+        worker.wake_timer.arm(latency)
 
     def _awake(self, worker: Worker) -> None:
         if worker.state is not WorkerState.WAKING:
@@ -438,16 +514,20 @@ class VranPool:
         worker.state = WorkerState.SPINNING
         self._waking -= 1
         self._spinning += 1
+        self._spin_bits |= 1 << worker.order_pos
         worker.wake_signaled_at = None
-        worker.wake_event = None
         pinned = worker.pinned_task
         if pinned is not None:
             worker.pinned_task = None
             self._pinned -= 1
             if pinned.start_time is None:
                 self._start(worker, pinned)
+                self.metrics.on_running_change(self.now, self._running)
                 return
+        running_before = self._running
         self._dispatch()
+        if self._running != running_before:
+            self.metrics.on_running_change(self.now, self._running)
         # The target may have dropped while this core was waking up.
         if self.reserved_count > self.target_cores and \
                 worker.state is WorkerState.SPINNING:
@@ -457,6 +537,8 @@ class VranPool:
         worker.state = WorkerState.YIELDED
         self._reserved -= 1
         self._spinning -= 1
+        self._spin_bits &= ~(1 << worker.order_pos)
+        self._yield_bits |= 1 << worker.order_pos
         self.metrics.on_yield()
         self.cache_model.record_scheduling_event(self.now)
         self.metrics.on_reserved_change(self.now, self.reserved_count)
@@ -486,7 +568,22 @@ class VranPool:
         offset = self._rotation_offset
         workers = self.workers
         n = self.num_cores
-        self._order = [workers[(i + offset) % n] for i in range(n)]
+        self._order = order = [workers[(i + offset) % n] for i in range(n)]
+        # Rebuild the position-keyed free bitmaps (rotation is rare —
+        # every 2 ms — so an O(cores) rebuild here keeps the per-task
+        # paths O(1)).
+        spin_bits = 0
+        yield_bits = 0
+        spinning = WorkerState.SPINNING
+        yielded = WorkerState.YIELDED
+        for pos, worker in enumerate(order):
+            worker.order_pos = pos
+            if worker.state is spinning:
+                spin_bits |= 1 << pos
+            elif worker.state is yielded:
+                yield_bits |= 1 << pos
+        self._spin_bits = spin_bits
+        self._yield_bits = yield_bits
         bus = self.event_bus
         if bus is not None and bus.enabled:
             bus.record(REC_CORE, self.now, "core_rotate",

@@ -277,6 +277,11 @@ class Simulation:
             metrics=self.metrics,
             event_bus=event_bus,
         )
+        # Completed DAGs hand their task instances back to the
+        # builder's pool (lazily scavenged at the next slot boundary;
+        # the pool disables recycling while a task_observer holds
+        # references past DAG completion).
+        self.pool.dag_recycler = self.builder.recycle_dag
         self.host = WorkloadHost(make_workload(workload),
                                  cache_model=cache_model)
         self.pool.set_available_listener(self.host.on_available_change)
@@ -380,11 +385,13 @@ class Simulation:
     def _on_slot_boundary(self) -> None:
         now = self.engine.now
         deadline = now + self.pool_config.deadline_us
-        dags = []
+        jobs = []
         for cell_index, cell in enumerate(self.pool_config.cells):
             for load in self._loads_for_slot(cell_index, self._slot_index):
-                dags.append(self.builder.build(load, cell, now, deadline,
-                                               cell_index=cell_index))
+                jobs.append((load, cell, now, deadline, cell_index))
+        # One vectorized cost/feature pass over the whole slot's DAGs
+        # (builder batches the numpy work; RNG streams stay per-DAG).
+        dags = self.builder.build_many(jobs)
         self._slot_index += 1
         self._slots_remaining -= 1
         if self._slots_remaining == 0 and self._slot_event is not None:

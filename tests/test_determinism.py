@@ -1,0 +1,100 @@
+"""Byte-identity regression tests for the task-event fast path.
+
+The fast-path optimizations (reusable engine timers, O(1) bitmap
+dispatch, task/DAG instance pooling, vectorized DAG construction,
+coalesced metrics emission, incremental scheduler tick) are only
+admissible because they leave ``SimulationResult`` byte-identical:
+no RNG draw may be added, dropped or reordered, and no float may be
+accumulated in a different order.
+
+The golden digests below are SHA-256 hashes of the canonical-JSON
+result payload (wall-clock telemetry stripped; see
+:mod:`repro.exec.digest`), captured on the pre-optimization tree.
+They must never change as a side effect of performance work — a
+mismatch means a behavioural regression, not a stale test.  Only an
+intentional model/semantics change may regenerate them (with
+``python -m tests.test_determinism`` printing the current values).
+
+The ``concordia`` (ML) policy is excluded: its predictor's disk cache
+makes run-to-run digests environment-dependent.  ``concordia-noml``
+exercises the identical pool/scheduler fast path without training.
+"""
+
+import json
+
+from repro.exec import run_batch
+from repro.exec.digest import result_digest
+from repro.experiments.common import make_spec
+from repro.ran.config import pool_20mhz_7cells
+from repro.scenario import Scenario, build_simulation
+
+SLOTS = 80
+SEED = 11
+
+#: (policy, workload) -> SHA-256 of the canonical result payload,
+#: captured before the fast-path work (fixed 20 MHz / 7-cell pool,
+#: load 0.5, seed 11, 80 slots).
+GOLDEN_DIGESTS = {
+    ("concordia-noml", "none"):
+        "9d18158d2eaa7d0ae779756eed3a7ad3dacabe6874646dee593f1e3372c0d77c",
+    ("concordia-noml", "redis"):
+        "94b52502423062a80c69153f43569403d1764d02b4cf92058769dc3a00314807",
+    ("flexran", "none"):
+        "05233ba9661b81a50d5039f26ca4c818900dfe8a25080ec814f9057f0036383b",
+    ("flexran", "redis"):
+        "a3296113bb9479bbb30b7b5150ddea5c40ab06fc48c8ec4e6ecd548f3c1ace89",
+}
+
+
+def _run_digest(policy: str, workload: str) -> str:
+    scenario = Scenario(
+        pool={"name": "20mhz"},
+        policy=policy,
+        workload=workload,
+        load_fraction=0.5,
+        seed=SEED,
+    )
+    result = build_simulation(scenario).run(SLOTS)
+    return result_digest(result)
+
+
+class TestGoldenDigests:
+    def test_all_policy_workload_cells_match_golden(self):
+        mismatches = {}
+        for (policy, workload), expected in GOLDEN_DIGESTS.items():
+            got = _run_digest(policy, workload)
+            if got != expected:
+                mismatches[(policy, workload)] = got
+        assert not mismatches, (
+            "result digests drifted from the pre-optimization goldens "
+            f"(behavioural regression): {mismatches}")
+
+    def test_digest_is_run_to_run_stable(self):
+        first = _run_digest("concordia-noml", "redis")
+        second = _run_digest("concordia-noml", "redis")
+        assert first == second
+
+
+class TestSerialParallelEquivalence:
+    def test_serial_and_two_jobs_byte_identical(self):
+        specs = [
+            make_spec(pool_20mhz_7cells(), "concordia-noml",
+                      workload="redis", num_slots=60, seed=s)
+            for s in (11, 12)
+        ]
+        serial = run_batch(specs, jobs=1, use_cache=False)
+        parallel = run_batch(specs, jobs=2, use_cache=False)
+        assert [o.status for o in serial.outcomes] == ["ok", "ok"]
+        assert [o.status for o in parallel.outcomes] == ["ok", "ok"]
+        serial_digests = [result_digest(o.result) for o in serial.outcomes]
+        parallel_digests = [result_digest(o.result)
+                            for o in parallel.outcomes]
+        assert serial_digests == parallel_digests
+
+
+if __name__ == "__main__":  # pragma: no cover — golden regeneration aid
+    current = {
+        cell: _run_digest(*cell) for cell in GOLDEN_DIGESTS
+    }
+    print(json.dumps({f"{p}/{w}": d for (p, w), d in current.items()},
+                     indent=2))

@@ -257,3 +257,108 @@ class TestPendingCountAccounting:
         eng.run_until(30.0)
         assert eng.pending_count() == sum(
             1 for e in eng._heap if e[2] is not None and e[2] is not _DONE)
+
+
+class TestReusableTimer:
+    def test_fires_once_at_deadline(self):
+        eng = Engine()
+        fired = []
+        timer = eng.timer(lambda: fired.append(eng.now))
+        timer.arm(5.0)
+        eng.run_until(20.0)
+        assert fired == [5.0]
+
+    def test_rearm_reuses_single_heap_entry(self):
+        eng = Engine()
+        count = [0]
+        timer = eng.timer(lambda: count.__setitem__(0, count[0] + 1))
+        for _ in range(50):
+            timer.arm(1.0)
+            eng.run_until(eng.now + 1.0)
+        assert count[0] == 50
+        assert len(eng._heap) == 0
+        assert eng.pending_count() == 0
+
+    def test_callback_can_rearm_from_inside(self):
+        # The engine detaches the entry before the callback runs, so
+        # the callback may re-arm the same timer (the worker
+        # finish-timer pattern).
+        eng = Engine()
+        fired = []
+
+        def cb():
+            fired.append(eng.now)
+            if len(fired) < 3:
+                timer.arm(2.0)
+
+        timer = eng.timer(cb)
+        timer.arm(2.0)
+        eng.run_until(100.0)
+        assert fired == [2.0, 4.0, 6.0]
+        assert len(eng._heap) == 0  # the reused entry left no orphans
+
+    def test_double_arm_raises(self):
+        eng = Engine()
+        timer = eng.timer(lambda: None)
+        timer.arm(1.0)
+        with pytest.raises(SimulationError):
+            timer.arm(2.0)
+
+    def test_negative_delay_raises(self):
+        eng = Engine()
+        timer = eng.timer(lambda: None)
+        with pytest.raises(SimulationError):
+            timer.arm(-0.1)
+
+    def test_cancel_prevents_firing(self):
+        eng = Engine()
+        fired = []
+        timer = eng.timer(lambda: fired.append(eng.now))
+        timer.arm(3.0)
+        timer.cancel()
+        eng.run_until(10.0)
+        assert fired == []
+        assert eng.pending_count() == 0
+
+    def test_rearm_after_cancel_orphans_stale_entry(self):
+        # cancel() leaves the dead entry queued (lazy deletion); a
+        # re-arm must orphan it and still fire exactly once.
+        eng = Engine()
+        fired = []
+        timer = eng.timer(lambda: fired.append(eng.now))
+        timer.arm(3.0)
+        timer.cancel()
+        timer.arm(7.0)
+        assert len(eng._heap) == 2  # orphaned dead entry + live entry
+        eng.run_until(10.0)
+        assert fired == [7.0]
+        assert eng.pending_count() == 0
+
+    def test_armed_property_tracks_lifecycle(self):
+        eng = Engine()
+        timer = eng.timer(lambda: None)
+        assert not timer.armed
+        timer.arm(1.0)
+        assert timer.armed and timer.time == 1.0
+        eng.run_until(2.0)
+        assert not timer.armed
+        timer.arm(1.0)
+        timer.cancel()
+        assert not timer.armed
+
+    def test_fifo_order_against_one_shots(self):
+        # A timer armed before a same-deadline one-shot fires first,
+        # and vice versa: each arm() consumes one engine seq exactly
+        # like the schedule_after it replaces (determinism-critical).
+        eng = Engine()
+        order = []
+        timer = eng.timer(lambda: order.append("timer"))
+        timer.arm(5.0)
+        eng.schedule_after(5.0, lambda: order.append("one-shot"))
+        eng.run_until(5.0)
+        assert order == ["timer", "one-shot"]
+        order.clear()
+        eng.schedule_after(3.0, lambda: order.append("one-shot"))
+        timer.arm(3.0)
+        eng.run_until(10.0)
+        assert order == ["one-shot", "timer"]
