@@ -14,6 +14,10 @@ Commands:
 * ``postmortem`` — run one simulation and audit its worst slot:
   which of wakeup latency, WCET under-prediction or cross-cell
   queueing dominated the (near-)miss;
+* ``fleet``   — run a metro deployment (N cells sharded K ways)
+  through the fleet planner and its persistent worker pool
+  (``--jobs J``), with an optional serial byte-identity check
+  (``--verify-serial``);
 * ``bench``   — hot-path throughput benchmark / CI guard / profiler
   (see :mod:`repro.bench`);
 * ``list``    — enumerate available policies, workloads and figures.
@@ -174,6 +178,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="audit this DAG id instead of the worst")
     pm_cmd.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
+
+    fleet_cmd = sub.add_parser(
+        "fleet",
+        help="run a sharded metro fleet through the planner")
+    fleet_cmd.add_argument("--cells", type=int, required=True,
+                           help="total cells in the metro deployment")
+    fleet_cmd.add_argument("--shards", type=int, default=1,
+                           help="per-server cell-shards (1..cells)")
+    fleet_cmd.add_argument("--jobs", type=int, default=1,
+                           help="persistent worker processes "
+                                "(1 = in-process serial)")
+    fleet_cmd.add_argument("--slots", type=int, default=400)
+    fleet_cmd.add_argument("--kind", choices=("20mhz", "100mhz"),
+                           default="20mhz",
+                           help="reference cell kind (Table 1/2)")
+    fleet_cmd.add_argument("--policy", choices=POLICIES,
+                           default="concordia-noml")
+    fleet_cmd.add_argument("--workload", choices=SCENARIOS,
+                           default="none")
+    fleet_cmd.add_argument("--load", type=float, default=0.5,
+                           help="cell load fraction in [0, 1]")
+    fleet_cmd.add_argument("--seed", type=int, default=0)
+    fleet_cmd.add_argument("--cores-per-cell", type=float, default=None,
+                           help="override the kind's provisioning ratio")
+    fleet_cmd.add_argument("--verify-serial", action="store_true",
+                           help="re-run unsharded+serial and require "
+                                "byte-identical per-cell digests")
+    fleet_cmd.add_argument("--json", action="store_true",
+                           help="emit the full fleet report as JSON")
 
     bench_cmd = sub.add_parser(
         "bench",
@@ -438,6 +471,73 @@ def _cmd_postmortem(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    from .fleet import FleetScenario, Planner
+
+    fleet = FleetScenario(
+        cells=args.cells,
+        shards=args.shards,
+        cell_kind=args.kind,
+        cores_per_cell=args.cores_per_cell,
+        policy=args.policy,
+        workload=args.workload,
+        load_fraction=args.load,
+        seed=args.seed,
+        num_slots=args.slots,
+    )
+
+    def progress(event) -> None:
+        if args.json:
+            return
+        line = (f"[{event['done']}/{event['total']}] "
+                f"{event['kind']:<8s} shard {event['shard']}")
+        if "worker" in event:
+            line += f"  worker={event['worker']}"
+        if "wall_s" in event:
+            line += f"  ({event['wall_s']:.1f}s)"
+        if event.get("error"):
+            line += f"  {event['error']}"
+        print(line, file=sys.stderr)
+
+    report = Planner(fleet, jobs=args.jobs, progress=progress).run()
+
+    verified = None
+    if args.verify_serial:
+        # The determinism contract: an unsharded serial run of the same
+        # metro must sample every cell byte-identically.
+        baseline_fleet = FleetScenario(
+            cells=args.cells, shards=1, cell_kind=args.kind,
+            cores_per_cell=args.cores_per_cell, policy=args.policy,
+            workload=args.workload, load_fraction=args.load,
+            seed=args.seed, num_slots=args.slots)
+        baseline = Planner(baseline_fleet, jobs=1).run()
+        mismatched = sorted(
+            name for name, digest in report.cell_digests.items()
+            if baseline.cell_digests.get(name) != digest)
+        missing = sorted(set(baseline.cell_digests)
+                         ^ set(report.cell_digests))
+        verified = not mismatched and not missing
+        if not verified:
+            print(f"verify-serial FAILED: {len(mismatched)} cell "
+                  f"digest(s) differ, {len(missing)} cell(s) missing: "
+                  f"{(mismatched + missing)[:5]}", file=sys.stderr)
+
+    if args.json:
+        payload = report.to_dict()
+        if verified is not None:
+            payload["verified_against_serial"] = verified
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+        if verified:
+            print(f"verify-serial OK: {len(report.cell_digests)} "
+                  f"cell digests byte-identical to the unsharded "
+                  f"serial run")
+    if verified is False:
+        return 1
+    return 0 if report.ok else 1
+
+
 def _cmd_list(args) -> int:
     print("policies: ", ", ".join(POLICIES))
     print("workloads:", ", ".join(SCENARIOS))
@@ -455,6 +555,7 @@ def main(argv: Optional[list] = None) -> int:
         "figure": _cmd_figure,
         "trace": _cmd_trace,
         "postmortem": _cmd_postmortem,
+        "fleet": _cmd_fleet,
         "bench": bench.run_bench,
         "list": _cmd_list,
     }

@@ -26,6 +26,7 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
 from typing import Callable, List, Optional, Sequence
 
 from ..obs.events import CacheEvent, global_bus
@@ -35,9 +36,6 @@ from .spec import SimSpec, pool_config_from_dict, spec_key
 from .worker import run_job_in_child
 
 __all__ = ["JobOutcome", "BatchReport", "default_jobs", "run_batch"]
-
-#: Parent poll interval while waiting on child pipes (seconds).
-_POLL_INTERVAL_S = 0.01
 
 ProgressCallback = Callable[[dict], None]
 
@@ -406,46 +404,57 @@ def _drain(queue: List[_Pending], active: List[_Running], jobs: int,
            timeout_s: Optional[float],
            spawn: Callable[[_Pending], None],
            finish: Callable[..., bool]) -> None:
-    """Run the spawn/poll loop until every queued job is finished."""
+    """Run the spawn/wait loop until every queued job is finished.
+
+    The parent blocks in :func:`multiprocessing.connection.wait` on the
+    children's pipes — zero CPU while simulations run, immediate wakeup
+    on the first completion.  A child that dies without reporting
+    surfaces as an EOF on its (now readable) pipe; per-job timeouts
+    bound the wait so overdue children are killed on schedule.
+    """
     while queue or active:
         while queue and len(active) < jobs:
             spawn(queue.pop(0))
-        progressed = False
-        for run in list(active):
-            if run.conn.poll(0):
-                try:
-                    status, payload = run.conn.recv()
-                except (EOFError, OSError):
-                    status, payload = "error", {
-                        "error": "worker pipe closed unexpectedly",
-                        "wall_s": time.perf_counter() - run.started}
-                run.conn.close()
-                run.process.join()
-                active.remove(run)
-                finish(run, status, payload.get("wall_s", 0.0),
-                       result=payload.get("result"),
-                       error=payload.get("error"))
-                progressed = True
-            elif (timeout_s is not None
-                    and time.perf_counter() - run.started > timeout_s):
-                run.process.terminate()
+        # Reap overdue children first so the wait below never blocks
+        # past the earliest per-job deadline.
+        wait_timeout = None
+        if timeout_s is not None:
+            now = time.perf_counter()
+            for run in list(active):
+                if now - run.started > timeout_s:
+                    run.process.terminate()
+                    run.process.join(timeout=5.0)
+                    run.conn.close()
+                    active.remove(run)
+                    finish(run, "timeout", now - run.started,
+                           error=f"job exceeded timeout ({timeout_s:g}s) "
+                                 f"and was killed")
+            if not active:
+                continue
+            wait_timeout = max(
+                0.0,
+                min(timeout_s - (now - run.started) for run in active))
+        if not active:
+            continue
+        ready = connection_wait([run.conn for run in active],
+                                timeout=wait_timeout)
+        by_conn = {run.conn: run for run in active}
+        for conn in ready:
+            run = by_conn[conn]
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                # Died without reporting (segfault, os._exit, ...):
+                # the closed pipe is what made the connection ready.
                 run.process.join(timeout=5.0)
-                run.conn.close()
-                active.remove(run)
-                finish(run, "timeout",
-                       time.perf_counter() - run.started,
-                       error=f"job exceeded timeout ({timeout_s:g}s) "
-                             f"and was killed")
-                progressed = True
-            elif not run.process.is_alive():
-                # Died without reporting (segfault, os._exit, ...).
                 exitcode = run.process.exitcode
-                run.conn.close()
-                active.remove(run)
-                finish(run, "error",
-                       time.perf_counter() - run.started,
-                       error=f"worker exited with code {exitcode} "
-                             f"without reporting a result")
-                progressed = True
-        if not progressed:
-            time.sleep(_POLL_INTERVAL_S)
+                status, payload = "error", {
+                    "error": f"worker exited with code {exitcode} "
+                             f"without reporting a result",
+                    "wall_s": time.perf_counter() - run.started}
+            run.conn.close()
+            run.process.join()
+            active.remove(run)
+            finish(run, status, payload.get("wall_s", 0.0),
+                   result=payload.get("result"),
+                   error=payload.get("error"))

@@ -1,0 +1,133 @@
+"""Per-cell sampling digests and federated core-demand rollups.
+
+The :class:`ShardDemandRecorder` hangs off
+``Simulation.demand_observer`` and sees every slot's freshly built DAG
+batch — after the counter-keyed Philox draws have fixed each task's
+``base_cost_us``/``stoch_mult``/``cache_*`` presamples, but before any
+scheduling happens.  From that it derives two things:
+
+* **per-cell sampling digests** — a SHA-256 over each cell's complete
+  sampled demand trace (slot, direction, task costs and stochastic
+  multipliers, in build order).  Because every draw involved is keyed
+  by ``(global cell id, slot, direction)``, the digest is a pure
+  function of ``(fleet seed, global cell id)``: it must be
+  byte-identical whether the cell sits in a 50-cell pool or a 13-cell
+  shard.  This is the fleet-scale proof of the PR-3 invariant that
+  sampling is interleaving-independent.
+* **federated core demand** — per cell, the mean per-slot work and
+  critical path feed Li et al.'s federated allocation rule
+  (:func:`repro.core.federated.federated_core_demand`); per shard the
+  cells' demands aggregate via
+  :func:`repro.core.federated.aggregate_demand` into the provisioning
+  numbers the planner rolls up fleet-wide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Sequence
+
+from ..core.federated import CoreDemand, aggregate_demand, \
+    federated_core_demand
+from ..ran.config import CellConfig
+
+__all__ = ["ShardDemandRecorder"]
+
+
+class ShardDemandRecorder:
+    """Accumulates per-cell digests and demand over one shard's run."""
+
+    def __init__(self, cells: Sequence[CellConfig], deadline_us: float,
+                 critical_margin_us: float = 20.0) -> None:
+        self.deadline_us = deadline_us
+        self.critical_margin_us = critical_margin_us
+        self._hash: Dict[str, "hashlib._Hash"] = {
+            cell.name: hashlib.sha256() for cell in cells}
+        self._work_sum = {cell.name: 0.0 for cell in cells}
+        self._crit_sum = {cell.name: 0.0 for cell in cells}
+        self._peak_work = {cell.name: 0.0 for cell in cells}
+        self._slots = {cell.name: 0 for cell in cells}
+        self._dags = {cell.name: 0 for cell in cells}
+
+    def __call__(self, dags: list) -> None:
+        """Observe one slot boundary's DAG batch (all cells)."""
+        slot_work: Dict[str, float] = {}
+        slot_crit: Dict[str, float] = {}
+        for dag in dags:
+            name = dag.cell_name
+            tasks = dag.tasks
+            # The digest covers everything sampling determines for the
+            # DAG: structure (task count tracks the UE allocations) and
+            # the presampled stochastic draws.  repr() renders the
+            # shortest exact round-trip of each double, so any
+            # ULP-level drift changes the digest.
+            parts = [f"{dag.slot_index}|{1 if dag.uplink else 0}"
+                     f"|{len(tasks)}"]
+            work = 0.0
+            for task in tasks:
+                cost = task.base_cost_us * task.stoch_mult
+                work += cost
+                parts.append(f"{task.base_cost_us!r},{task.stoch_mult!r},"
+                             f"{task.cache_u!r},{task.cache_tail!r}")
+            self._hash[name].update(";".join(parts).encode())
+            crit = dag.remaining_critical_path_us(
+                _sampled_cost, dag.release_us)
+            slot_work[name] = slot_work.get(name, 0.0) + work
+            slot_crit[name] = max(slot_crit.get(name, 0.0), crit)
+            self._dags[name] += 1
+        for name, work in slot_work.items():
+            self._work_sum[name] += work
+            self._crit_sum[name] += slot_crit[name]
+            self._peak_work[name] = max(self._peak_work[name], work)
+            self._slots[name] += 1
+
+    # -- results -----------------------------------------------------------------
+
+    def cell_digests(self) -> Dict[str, str]:
+        """SHA-256 hex digest of each cell's sampled demand trace."""
+        return {name: h.hexdigest() for name, h in self._hash.items()}
+
+    def cell_demand(self, name: str) -> CoreDemand:
+        """Federated core demand of one cell at its mean per-slot load."""
+        slots = self._slots[name]
+        if slots == 0:
+            return CoreDemand(0, False)
+        return federated_core_demand(
+            self._work_sum[name] / slots,
+            self._crit_sum[name] / slots,
+            slack_us=self.deadline_us,
+            critical_margin_us=self.critical_margin_us,
+        )
+
+    def shard_demand(self) -> CoreDemand:
+        """Aggregate demand over all of the shard's cells."""
+        return aggregate_demand(
+            self.cell_demand(name) for name in self._hash)
+
+    def demand_payload(self) -> dict:
+        """JSON-able per-cell and aggregate demand summary."""
+        cells = {}
+        for name in self._hash:
+            demand = self.cell_demand(name)
+            slots = max(1, self._slots[name])
+            cells[name] = {
+                "cores": demand.cores,
+                "critical": demand.critical,
+                "mean_work_us": self._work_sum[name] / slots,
+                "mean_critical_path_us": self._crit_sum[name] / slots,
+                "peak_work_us": self._peak_work[name],
+                "slots": self._slots[name],
+                "dags": self._dags[name],
+            }
+        total = self.shard_demand()
+        return {
+            "cells": cells,
+            "cores": total.cores,
+            "critical": total.critical,
+            "deadline_us": self.deadline_us,
+        }
+
+
+def _sampled_cost(task) -> float:
+    """Build-time WCET proxy: the presampled isolated runtime."""
+    return task.base_cost_us * task.stoch_mult

@@ -1,0 +1,157 @@
+"""The fleet planner: shard assignment, in-flight tracking, aggregation.
+
+The planner owns a fleet run end to end (the makespan-scheduler shape:
+a work queue of shards, a warm worker pool, in-flight and idle-slot
+accounting):
+
+1. derive the per-server shards from the :class:`FleetScenario`;
+2. ``jobs <= 1``: execute every shard in-process, in shard order (the
+   serial baseline); otherwise dispatch shards to a persistent
+   :class:`~repro.fleet.pool.ShardWorkerPool`, keeping every worker
+   busy while work remains and integrating idle worker-time when it
+   runs dry;
+3. merge the per-shard payloads into a
+   :class:`~repro.fleet.report.FleetReport` — fleet tail latency from
+   merged histograms, reclaimed-CPU totals, per-server utilization,
+   the federated demand rollup and the sharding-invariant per-cell
+   digests.
+
+Because :func:`~repro.fleet.worker.execute_shard` is hermetic and the
+report normalizes merge order, a fleet run is byte-identical (modulo
+wall-clock telemetry) for any ``jobs``; and because per-cell sampling
+is keyed by global cell id, the per-cell digests are further invariant
+to the *shard count* itself.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from .pool import ShardWorkerPool
+from .report import FleetReport, build_fleet_report
+from .scenario import FleetScenario, ShardSpec
+from .worker import execute_shard
+
+__all__ = ["Planner"]
+
+ProgressCallback = Callable[[dict], None]
+
+
+class Planner:
+    """Runs one :class:`FleetScenario` and aggregates the fleet report."""
+
+    def __init__(self, fleet: FleetScenario, jobs: int = 1,
+                 progress: Optional[ProgressCallback] = None) -> None:
+        self.fleet = fleet
+        self.jobs = max(1, int(jobs))
+        self.progress = progress
+
+    # -- driving -----------------------------------------------------------------
+
+    def run(self) -> FleetReport:
+        shards = self.fleet.derive_shards()
+        started = time.perf_counter()
+        if self.jobs <= 1:
+            payloads, failures, stats = self._run_serial(shards)
+        else:
+            payloads, failures, stats = self._run_pool(shards)
+        return build_fleet_report(
+            self.fleet, payloads, failures,
+            jobs=self.jobs,
+            wall_s=time.perf_counter() - started,
+            **stats,
+        )
+
+    def _emit(self, kind: str, shard_index: int, total: int, done: int,
+              **extra) -> None:
+        if self.progress is None:
+            return
+        event = {"kind": kind, "shard": shard_index, "total": total,
+                 "done": done}
+        event.update(extra)
+        self.progress(event)
+
+    def _run_serial(self, shards: List[ShardSpec]):
+        """In-process execution in shard order (the jobs=1 baseline)."""
+        payloads, failures = [], []
+        for done, shard in enumerate(shards):
+            self._emit("dispatch", shard.shard_index, len(shards), done)
+            try:
+                payload = execute_shard(shard.to_dict())
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                failures.append({"shard_index": shard.shard_index,
+                                 "error": f"{type(exc).__name__}: {exc}"})
+                self._emit("failed", shard.shard_index, len(shards),
+                           done + 1, error=str(exc))
+                continue
+            payloads.append(payload)
+            self._emit("done", shard.shard_index, len(shards), done + 1,
+                       wall_s=payload["wall_s"])
+        return payloads, failures, {"workers": 0, "idle_worker_s": 0.0,
+                                    "max_in_flight": 1,
+                                    "dispatches": len(shards)}
+
+    def _run_pool(self, shards: List[ShardSpec]):
+        """Dispatch shards onto a warm worker pool until all report."""
+        workers = min(self.jobs, len(shards))
+        queue: List[ShardSpec] = list(shards)
+        in_flight = {}  # worker_id -> ShardSpec
+        payloads, failures = [], []
+        idle_worker_s = 0.0
+        max_in_flight = 0
+        done = 0
+        with ShardWorkerPool(workers) as pool:
+            while queue or in_flight:
+                while queue and pool.idle_workers():
+                    worker_id = pool.idle_workers()[0]
+                    shard = queue.pop(0)
+                    pool.submit(worker_id, shard.to_dict())
+                    in_flight[worker_id] = shard
+                    max_in_flight = max(max_in_flight, len(in_flight))
+                    self._emit("dispatch", shard.shard_index,
+                               len(shards), done, worker=worker_id)
+                if not in_flight:
+                    # Workers died faster than work drained: fall back
+                    # to in-process execution for what remains.
+                    while queue:
+                        shard = queue.pop(0)
+                        try:
+                            payloads.append(
+                                execute_shard(shard.to_dict()))
+                        except Exception as exc:  # noqa: BLE001
+                            failures.append({
+                                "shard_index": shard.shard_index,
+                                "error": f"{type(exc).__name__}: {exc}"})
+                        done += 1
+                    break
+                # Every runnable shard is in flight; idle pool slots
+                # (workers with no queued work left) accumulate here.
+                idle = pool.alive - len(in_flight)
+                wait_started = time.perf_counter()
+                messages = pool.wait()
+                idle_worker_s += idle * (time.perf_counter()
+                                         - wait_started)
+                for message in messages:
+                    shard = in_flight.pop(message.worker_id)
+                    done += 1
+                    if message.status == "ok":
+                        payloads.append(message.payload)
+                        self._emit("done", shard.shard_index,
+                                   len(shards), done,
+                                   worker=message.worker_id,
+                                   wall_s=message.payload["wall_s"])
+                    else:
+                        failures.append({
+                            "shard_index": shard.shard_index,
+                            "error": message.payload.get(
+                                "error", "unknown worker error"),
+                        })
+                        self._emit("failed", shard.shard_index,
+                                   len(shards), done,
+                                   worker=message.worker_id,
+                                   error=message.payload.get("error"))
+        return payloads, failures, {"workers": workers,
+                                    "idle_worker_s": idle_worker_s,
+                                    "max_in_flight": max_in_flight,
+                                    "dispatches": len(shards)}

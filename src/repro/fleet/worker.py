@@ -1,0 +1,110 @@
+"""Shard execution: the hermetic job body and the persistent child loop.
+
+This generalizes :mod:`repro.exec.worker`'s pipe protocol from "one
+fork = one job" to "one fork = one *warm worker*": the child loop
+blocks on its pipe, executes any number of ``("run", shard)`` commands
+and reports each through ``("ok" | "error", payload)`` messages until
+told to ``("stop", None)``.  Workers therefore keep their warmed
+interpreter (imported numpy, trained predictors inherited on fork)
+across planner rounds instead of paying a fork per shard.
+
+:func:`execute_shard` is the job body, shared verbatim by the serial
+(in-process) planner path and the forked workers — the fleet's
+serial == parallel byte-identity rests on that.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+
+from ..scenario import Scenario, build_simulation
+from .demand import ShardDemandRecorder
+from .report import latency_histogram
+
+__all__ = ["execute_shard", "shard_worker_loop"]
+
+
+def execute_shard(payload: dict) -> dict:
+    """Run one cell-shard to completion; returns a JSON-able payload.
+
+    Hermetic: everything is rebuilt from the shard payload alone, so
+    the result is a pure function of the payload — which worker (or
+    the parent) executes it cannot matter.
+    """
+    started = time.perf_counter()
+    scenario = Scenario.from_dict(payload["scenario"])
+    config = scenario.pool_config()
+    simulation = build_simulation(scenario)
+    recorder = ShardDemandRecorder(config.cells, config.deadline_us)
+    simulation.demand_observer = recorder
+    result = simulation.run(payload["num_slots"])
+    metrics = simulation.metrics
+    latency = result.latency
+    return {
+        "schema": 1,
+        "shard_index": payload["shard_index"],
+        "cell_id_base": payload["cell_id_base"],
+        "cell_names": list(payload["cell_names"]),
+        "num_cores": config.num_cores,
+        "num_slots": payload["num_slots"],
+        "wall_s": time.perf_counter() - started,
+        "latency": {
+            "mean_us": latency.mean_us,
+            "p50_us": latency.p50_us,
+            "p99_us": latency.p99_us,
+            "p9999_us": latency.p9999_us,
+            "max_us": latency.max_us,
+        },
+        "histogram": latency_histogram(metrics.slot_latencies,
+                                       config.deadline_us),
+        "miss_count": metrics.slot_deadlines_missed,
+        "slot_count": metrics.slot_count,
+        "reclaimed_fraction": result.reclaimed_fraction,
+        "vran_utilization": result.vran_utilization,
+        "scheduling_events": result.scheduling_events,
+        "duration_us": result.duration_us,
+        "cell_digests": recorder.cell_digests(),
+        "demand": recorder.demand_payload(),
+    }
+
+
+def shard_worker_loop(conn, worker_id: int) -> None:
+    """Persistent child entry point: serve shard jobs until stopped.
+
+    Every job answer carries the worker's pid and a served-jobs
+    counter, so the planner (and the tests) can verify workers really
+    stay warm across rounds.  Exceptions never cross the process
+    boundary — they are serialized as error payloads; a send failure
+    means the parent is gone and the loop exits.
+    """
+    served = 0
+    while True:
+        try:
+            command, payload = conn.recv()
+        except (EOFError, OSError):  # parent died or closed the pipe
+            break
+        if command == "stop":
+            break
+        started = time.perf_counter()
+        try:
+            result = execute_shard(payload)
+            served += 1
+            result["worker"] = {"id": worker_id, "pid": os.getpid(),
+                                "jobs_done": served}
+            message = ("ok", result)
+        except BaseException as exc:  # noqa: BLE001 - isolation boundary
+            message = ("error", {
+                "shard_index": payload.get("shard_index"),
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+                "wall_s": time.perf_counter() - started,
+                "worker": {"id": worker_id, "pid": os.getpid(),
+                           "jobs_done": served},
+            })
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):  # parent gave up on us
+            break
+    conn.close()

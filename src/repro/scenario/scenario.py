@@ -165,6 +165,14 @@ class Scenario:
     harq: bool = False
     mix_interval_us: tuple = (0.5e6, 2.0e6)
     record_tasks: bool = False
+    #: Fleet sharding: when not ``None``, this pool is one cell-shard
+    #: of a metro deployment and its per-cell RNG streams are keyed by
+    #: the *global* cell id (``cell_id_base + local index``) instead of
+    #: the within-pool index, with per-cell UE-allocation streams —
+    #: see :mod:`repro.fleet`.  Cell-level sampling then reproduces
+    #: byte-identically no matter how the fleet is sharded.  ``None``
+    #: keeps the legacy single-server keying (and digests) unchanged.
+    cell_id_base: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.allocation not in _ALLOCATION_MODES:
@@ -191,6 +199,11 @@ class Scenario:
         if isinstance(self.pool, PoolConfig):
             payload["pool"] = pool_config_to_dict(self.pool)
         payload["mix_interval_us"] = list(self.mix_interval_us)
+        if payload["cell_id_base"] is None:
+            # Non-fleet scenarios serialize exactly as they did before
+            # the fleet layer existed, keeping cached results and the
+            # golden result digests byte-identical.
+            del payload["cell_id_base"]
         payload["schema"] = SCENARIO_SCHEMA
         return payload
 

@@ -30,6 +30,17 @@ spawn_key              purpose
 (8, cell)              per-cell HARQ processes
 (9, cell, dir)         per-cell/direction MAC pipelines
 =====================  ==========================================
+
+Fleet keying — when ``scenario.cell_id_base`` is set (the pool is one
+cell-shard of a :mod:`repro.fleet` metro deployment), ``cell`` above
+means the *global* cell id (``cell_id_base + local index``) and the
+shared i.i.d. allocation stream ``(2,)`` becomes one counter-keyed
+stream ``(2, cell)`` per cell.  Every per-cell stream then depends
+only on ``(fleet seed, global cell id)``, never on which shard the
+cell landed in, which is what makes per-cell sampling byte-identical
+across arbitrary shardings.  The pool-level streams (0, 1, 3, 4, 5)
+are keyed ``(k, cell_id_base)`` so distinct shards draw distinct
+scheduling-side randomness.
 """
 
 from __future__ import annotations
@@ -251,12 +262,31 @@ class Simulation:
         mix_interval_us = scenario.mix_interval_us
         record_tasks = scenario.record_tasks
         harq = scenario.harq
-        self._rng_cost = _stream_rng(seed, 0)
-        self._rng_traffic = _stream_rng(seed, 1)
-        self._rng_alloc = _stream_rng(seed, 2)
-        self._rng_os = _stream_rng(seed, 3)
-        self._rng_cache = _stream_rng(seed, 4)
-        self._rng_mix = _stream_rng(seed, 5)
+        # Fleet keying (see module docstring): a cell-shard keys every
+        # per-cell stream by the global cell id and pool-level streams
+        # by the shard's base, so cell-level sampling is independent of
+        # how the metro deployment was sharded.
+        base = scenario.cell_id_base
+        self._cell_id_base = 0 if base is None else base
+        fleet = base is not None
+        pool_key = (base,) if fleet else ()
+        self._rng_cost = _stream_rng(seed, 0, *pool_key)
+        self._rng_traffic = _stream_rng(seed, 1, *pool_key)
+        self._rng_os = _stream_rng(seed, 3, *pool_key)
+        self._rng_cache = _stream_rng(seed, 4, *pool_key)
+        self._rng_mix = _stream_rng(seed, 5, *pool_key)
+        if fleet:
+            # One counter-keyed allocation stream per cell: within a
+            # cell the draw order (slot, then direction) is fixed, so
+            # the stream never observes other cells' draws.
+            self._rng_alloc = None
+            self._rng_alloc_cells = [
+                _stream_rng(seed, 2, base + index)
+                for index in range(len(pool_config.cells))
+            ]
+        else:
+            self._rng_alloc = _stream_rng(seed, 2)
+            self._rng_alloc_cells = None
 
         self.engine = Engine()
         self.cost_model = CostModel(rng=self._rng_cost)
@@ -293,10 +323,11 @@ class Simulation:
                 max_interval_us=mix_interval_us[1],
                 rng=self._rng_mix,
             )
+        cell_base = self._cell_id_base
         self.traffic = [
             CellTraffic.for_cell(
                 cell, load_fraction,
-                rng=_stream_rng(seed, 7, index),
+                rng=_stream_rng(seed, 7, cell_base + index),
             )
             for index, cell in enumerate(pool_config.cells)
         ]
@@ -306,7 +337,7 @@ class Simulation:
         if harq:
             for index in range(len(pool_config.cells)):
                 self._harq[index] = HarqManager(
-                    rng=_stream_rng(seed, 8, index))
+                    rng=_stream_rng(seed, 8, cell_base + index))
         # Optional MAC-layer allocation pipeline (buffer-driven PF
         # scheduling instead of i.i.d. byte splitting).
         self._mac: dict = {}
@@ -323,8 +354,14 @@ class Simulation:
                         cell,
                         num_ues=cell.max_ues_per_slot,
                         total_rate_bps=rate,
-                        rng=_stream_rng(seed, 9, index, int(uplink)),
+                        rng=_stream_rng(seed, 9, cell_base + index,
+                                        int(uplink)),
                     )
+        #: Optional hook receiving each slot's freshly built DAG batch
+        #: (after sampling, before release to the pool).  The fleet
+        #: layer attaches a demand recorder here to compute per-cell
+        #: sampling digests and federated core-demand rollups.
+        self.demand_observer = None
         self._slot_index = 0
         self._slots_remaining = 0
         self._slot_event = None
@@ -364,8 +401,11 @@ class Simulation:
                 allocations = self._mac[(cell_index, uplink)].step()
             else:
                 total = self._draw_bytes(cell_index, uplink, scale)
+                alloc_rng = (self._rng_alloc
+                             if self._rng_alloc_cells is None
+                             else self._rng_alloc_cells[cell_index])
                 allocations = bytes_to_allocations(
-                    total, self._rng_alloc,
+                    total, alloc_rng,
                     max_ues=cell.max_ues_per_slot,
                     max_layers=cell.max_layers,
                 )
@@ -386,12 +426,16 @@ class Simulation:
         now = self.engine.now
         deadline = now + self.pool_config.deadline_us
         jobs = []
+        cell_base = self._cell_id_base
         for cell_index, cell in enumerate(self.pool_config.cells):
             for load in self._loads_for_slot(cell_index, self._slot_index):
-                jobs.append((load, cell, now, deadline, cell_index))
+                jobs.append((load, cell, now, deadline,
+                             cell_base + cell_index))
         # One vectorized cost/feature pass over the whole slot's DAGs
         # (builder batches the numpy work; RNG streams stay per-DAG).
         dags = self.builder.build_many(jobs)
+        if self.demand_observer is not None:
+            self.demand_observer(dags)
         self._slot_index += 1
         self._slots_remaining -= 1
         if self._slots_remaining == 0 and self._slot_event is not None:

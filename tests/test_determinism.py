@@ -25,11 +25,20 @@ import json
 from repro.exec import run_batch
 from repro.exec.digest import result_digest
 from repro.experiments.common import make_spec
+from repro.fleet import FleetScenario, Planner, combined_digest
 from repro.ran.config import pool_20mhz_7cells
 from repro.scenario import Scenario, build_simulation
 
 SLOTS = 80
 SEED = 11
+
+#: Fleet golden: a 50-cell metro (20 MHz kind, 40 slots, seed 11) must
+#: sample every cell byte-identically regardless of sharding; this is
+#: the combined SHA-256 over all 50 per-cell demand-trace digests.
+FLEET_CELLS = 50
+FLEET_SLOTS = 40
+GOLDEN_FLEET_DIGEST = \
+    "09afc0cea67eadc9ee0326c89bf6568343c2758f4562286fbec94ab38173d0b9"
 
 #: (policy, workload) -> SHA-256 of the canonical result payload,
 #: captured before the fast-path work (fixed 20 MHz / 7-cell pool,
@@ -75,6 +84,37 @@ class TestGoldenDigests:
         assert first == second
 
 
+def _fleet_digests(shards: int, jobs: int = 1) -> dict:
+    fleet = FleetScenario(cells=FLEET_CELLS, shards=shards,
+                          num_slots=FLEET_SLOTS, seed=SEED)
+    report = Planner(fleet, jobs=jobs).run()
+    assert report.ok, report.failures
+    return report.cell_digests
+
+
+class TestFleetShardingInvariance:
+    """serial == ``--shards 4``: per-cell sampling is shard-invariant.
+
+    Per-cell streams are keyed by global cell id, so a 50-cell fleet
+    sharded 4 ways must produce byte-identical per-cell demand digests
+    to the unsharded serial run — and both must match the golden
+    captured when the fleet layer landed.
+    """
+
+    def test_serial_matches_golden(self):
+        digests = _fleet_digests(shards=1)
+        assert len(digests) == FLEET_CELLS
+        assert combined_digest(digests) == GOLDEN_FLEET_DIGEST, (
+            "fleet sampling drifted from the golden digest "
+            "(behavioural regression)")
+
+    def test_four_shards_byte_identical_to_serial(self):
+        serial = _fleet_digests(shards=1)
+        sharded = _fleet_digests(shards=4)
+        assert sharded == serial
+        assert combined_digest(sharded) == GOLDEN_FLEET_DIGEST
+
+
 class TestSerialParallelEquivalence:
     def test_serial_and_two_jobs_byte_identical(self):
         specs = [
@@ -96,5 +136,6 @@ if __name__ == "__main__":  # pragma: no cover — golden regeneration aid
     current = {
         cell: _run_digest(*cell) for cell in GOLDEN_DIGESTS
     }
-    print(json.dumps({f"{p}/{w}": d for (p, w), d in current.items()},
-                     indent=2))
+    payload = {f"{p}/{w}": d for (p, w), d in current.items()}
+    payload["fleet"] = combined_digest(_fleet_digests(shards=1))
+    print(json.dumps(payload, indent=2))
