@@ -208,6 +208,53 @@ class ConcordiaScheduler(SchedulerPolicy):
     def on_tick(self, now: float) -> None:
         self._reschedule(now)
 
+    # -- quiescent-gap tick batching (pool fast path) ------------------------------
+
+    def idle_tick_bound(self, now: float) -> Optional[float]:
+        """Certify upcoming ticks as no-ops while no DAG is active.
+
+        With ``_states`` empty each tick computes zero demand, so the
+        only thing that can change the decision is the release-hold
+        window: the held maximum drops when its head entry ages out,
+        ``release_hold_us`` after the head was recorded.  Ticks at
+        ``t <= head_time + release_hold_us`` keep the current target;
+        when the window holds no demand at all, every future tick is a
+        no-op (bound = inf).  Ticks are only certified when the current
+        target is already fully applied — otherwise the next tick's
+        ``request_cores`` call is real work.
+        """
+        if self._states:
+            return None
+        pool = self.pool
+        window = self._demand_window
+        held = window[0][1] if window else 0
+        target = held if held > self.min_standby_cores \
+            else self.min_standby_cores
+        if target > pool.num_cores:
+            target = pool.num_cores
+        if pool.target_cores != target or pool._reserved != target:
+            return None
+        if held <= 0:
+            return math.inf
+        return window[0][0] + self.release_hold_us
+
+    def on_ticks_skipped(self, count: int, last_time: float) -> None:
+        """Replay the window/telemetry effects of ``count`` no-op ticks.
+
+        Each skipped tick would have run ``_held_demand(t, 0)``: pop
+        the trailing zero entry, append ``(t, 0)``.  The net effect
+        after the batch is the trailing zero re-stamped at the last
+        skipped tick (no head entry can age out before ``last_time`` —
+        that is exactly what :meth:`idle_tick_bound` bounds).  The
+        scheduling-call counter is digest-relevant telemetry and must
+        count skipped ticks as the calls they replace.
+        """
+        window = self._demand_window
+        while window and window[-1][1] <= 0:
+            window.pop()
+        window.append((last_time, 0))
+        self._scheduling_calls.value += count
+
     # -- the scheduling decision ---------------------------------------------------
 
     def _reschedule(self, now: float, kind: str = "tick") -> None:

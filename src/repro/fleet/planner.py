@@ -25,6 +25,7 @@ to the *shard count* itself.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Callable, List, Optional
 
@@ -35,7 +36,17 @@ from .worker import execute_shard
 
 __all__ = ["Planner"]
 
+logger = logging.getLogger(__name__)
+
 ProgressCallback = Callable[[dict], None]
+
+#: A shard is flagged as a straggler (and the pool wait times out) once
+#: it runs past this multiple of the median completed-shard wall time.
+STRAGGLER_FACTOR = 10.0
+
+#: Floor for the straggler threshold, so short shards on a noisy
+#: machine don't trip spurious warnings.
+STRAGGLER_MIN_S = 30.0
 
 
 class Planner:
@@ -93,29 +104,46 @@ class Planner:
                                     "dispatches": len(shards)}
 
     def _run_pool(self, shards: List[ShardSpec]):
-        """Dispatch shards onto a warm worker pool until all report."""
+        """Dispatch shards onto a warm worker pool until all report.
+
+        A worker that dies mid-job no longer forfeits its shard: the
+        shard is requeued once (retry budget 1) — on a surviving
+        worker, or through the in-process fallback if the pool has
+        drained — and only a second loss records a failure.  Completed
+        shard wall times feed a straggler threshold
+        (``STRAGGLER_FACTOR`` x their median) that bounds every pool
+        wait and logs any shard running past it.
+        """
         workers = min(self.jobs, len(shards))
         queue: List[ShardSpec] = list(shards)
-        in_flight = {}  # worker_id -> ShardSpec
+        in_flight = {}  # worker_id -> (ShardSpec, dispatch time)
         payloads, failures = [], []
         idle_worker_s = 0.0
         max_in_flight = 0
         done = 0
+        dispatches = 0
+        retried: set = set()  # shard_index values already requeued
+        slow_warned: set = set()
+        walls: List[float] = []  # completed shard wall times
         with ShardWorkerPool(workers) as pool:
             while queue or in_flight:
                 while queue and pool.idle_workers():
                     worker_id = pool.idle_workers()[0]
                     shard = queue.pop(0)
                     pool.submit(worker_id, shard.to_dict())
-                    in_flight[worker_id] = shard
+                    in_flight[worker_id] = (shard, time.perf_counter())
+                    dispatches += 1
                     max_in_flight = max(max_in_flight, len(in_flight))
                     self._emit("dispatch", shard.shard_index,
                                len(shards), done, worker=worker_id)
                 if not in_flight:
                     # Workers died faster than work drained: fall back
-                    # to in-process execution for what remains.
+                    # to in-process execution for what remains (this
+                    # also serves requeued shards, so a retry cannot
+                    # strand work when no worker survives).
                     while queue:
                         shard = queue.pop(0)
+                        dispatches += 1
                         try:
                             payloads.append(
                                 execute_shard(shard.to_dict()))
@@ -127,21 +155,57 @@ class Planner:
                     break
                 # Every runnable shard is in flight; idle pool slots
                 # (workers with no queued work left) accumulate here.
+                timeout = None
+                if walls:
+                    median = sorted(walls)[len(walls) // 2]
+                    timeout = max(STRAGGLER_FACTOR * median,
+                                  STRAGGLER_MIN_S)
                 idle = pool.alive - len(in_flight)
                 wait_started = time.perf_counter()
-                messages = pool.wait()
-                idle_worker_s += idle * (time.perf_counter()
-                                         - wait_started)
+                messages = pool.wait(timeout=timeout)
+                now = time.perf_counter()
+                idle_worker_s += idle * (now - wait_started)
+                if timeout is not None:
+                    for worker_id, (shard, started) in in_flight.items():
+                        elapsed = now - started
+                        if (elapsed > timeout
+                                and shard.shard_index not in slow_warned):
+                            slow_warned.add(shard.shard_index)
+                            logger.warning(
+                                "shard %d on worker %d is a straggler: "
+                                "%.1fs elapsed, %.1fx the median shard "
+                                "wall time", shard.shard_index,
+                                worker_id, elapsed,
+                                elapsed / max(median, 1e-9))
+                            self._emit("straggler", shard.shard_index,
+                                       len(shards), done,
+                                       worker=worker_id,
+                                       elapsed_s=elapsed)
                 for message in messages:
-                    shard = in_flight.pop(message.worker_id)
-                    done += 1
+                    shard, _started = in_flight.pop(message.worker_id)
                     if message.status == "ok":
+                        done += 1
                         payloads.append(message.payload)
+                        walls.append(message.payload["wall_s"])
                         self._emit("done", shard.shard_index,
                                    len(shards), done,
                                    worker=message.worker_id,
                                    wall_s=message.payload["wall_s"])
+                    elif (message.status == "died"
+                          and shard.shard_index not in retried):
+                        retried.add(shard.shard_index)
+                        queue.append(shard)
+                        logger.warning(
+                            "worker %d died running shard %d (%s); "
+                            "requeueing the shard (retry 1 of 1)",
+                            message.worker_id, shard.shard_index,
+                            message.payload.get("error", "no detail"))
+                        self._emit("retry", shard.shard_index,
+                                   len(shards), done,
+                                   worker=message.worker_id,
+                                   error=message.payload.get("error"))
                     else:
+                        done += 1
                         failures.append({
                             "shard_index": shard.shard_index,
                             "error": message.payload.get(
@@ -154,4 +218,4 @@ class Planner:
         return payloads, failures, {"workers": workers,
                                     "idle_worker_s": idle_worker_s,
                                     "max_in_flight": max_in_flight,
-                                    "dispatches": len(shards)}
+                                    "dispatches": dispatches}

@@ -12,6 +12,7 @@ from the merged distribution.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -31,13 +32,23 @@ _RANGE_DEADLINES = 4.0
 
 def latency_histogram(latencies_us: Sequence[float],
                       deadline_us: float) -> dict:
-    """Fixed-geometry latency histogram keyed off the fleet deadline."""
+    """Fixed-geometry latency histogram keyed off the fleet deadline.
+
+    Rejects non-finite and negative latencies explicitly: ``int()``
+    truncates toward zero, so a small negative value would land in bin
+    0 and a large one would Python-negative-index into the top bins —
+    both silently corrupt the tail percentiles.
+    """
     width = _RANGE_DEADLINES * deadline_us / HISTOGRAM_BINS
     counts = [0] * HISTOGRAM_BINS
     overflow = 0
     max_us = 0.0
     total = 0.0
     for value in latencies_us:
+        if not math.isfinite(value) or value < 0.0:
+            raise ValueError(
+                f"latency values must be finite and non-negative, "
+                f"got {value!r}")
         total += value
         if value > max_us:
             max_us = value
@@ -85,8 +96,13 @@ def merge_histograms(histograms: Sequence[dict]) -> dict:
 def histogram_percentile(hist: dict, quantile: float) -> float:
     """Percentile estimate by linear interpolation within a bin.
 
-    Values past the histogram range (overflow) resolve to the exact
-    recorded maximum, so extreme tails never under-report.
+    A percentile that lands past the histogram range interpolates
+    through the *overflow* region — between the range top and the
+    exact recorded maximum, proportionally to how deep into the
+    overflow count it falls — instead of collapsing the whole tail
+    onto ``max_us``.  (p99.9 with a handful of overflowed slots used
+    to report the single worst slot; now it reports a tail estimate
+    that is monotone in the quantile.)
     """
     count = hist["count"]
     if count == 0:
@@ -95,6 +111,13 @@ def histogram_percentile(hist: dict, quantile: float) -> float:
         raise ValueError(f"quantile must be in [0, 1], got {quantile}")
     needed = quantile * count
     width = hist["bin_width_us"]
+    overflow = hist["overflow"]
+    in_range = count - overflow
+    if overflow and needed > in_range:
+        range_top = width * len(hist["counts"])
+        inside = min(float(overflow), needed - in_range)
+        return range_top + (hist["max_us"] - range_top) * (
+            inside / overflow)
     cumulative = 0.0
     for index, bin_count in enumerate(hist["counts"]):
         if bin_count == 0:

@@ -27,11 +27,9 @@ import numpy as np
 from .config import CellConfig
 from .tasks import (
     FEATURE_INDEX,
-    TYPE_CODE,
     CostModel,
     TaskInstance,
     TaskType,
-    _MEMORY_BOUND_TYPES,
     prbs_for_bandwidth,
     slot_base_features,
 )
@@ -209,7 +207,6 @@ class DagBuilder:
         self,
         task_type: TaskType,
         cell_name: str,
-        *,
         task_codeblocks: int = 0,
         task_bytes: float = 0.0,
         snr_margin_db: float = 10.0,
@@ -238,7 +235,7 @@ class DagBuilder:
             task.path_us = 0.0
             task.task_id = next(self._task_ids)
             task.task_type = task_type
-            task.memory_bound = task_type in _MEMORY_BOUND_TYPES
+            task.memory_bound = task_type.is_memory_bound
             task.cell_name = cell_name
             task.snr_margin_db = snr_margin_db
         else:
@@ -251,7 +248,7 @@ class DagBuilder:
                 snr_margin_db=snr_margin_db,
             )
         self._pend_rows.append(
-            (task, TYPE_CODE[task_type], task_codeblocks, task_bytes,
+            (task, task_type.type_code, task_codeblocks, task_bytes,
              snr_margin_db, code_rate, prb_share, layers))
         return task
 
@@ -416,40 +413,35 @@ class DagBuilder:
         decode group, not the sum over UEs.
         """
         name = cell.name
-        fft = self._new_task(TaskType.FFT, name)
+        new_task = self._new_task
+        fft = new_task(TaskType.FFT, name)
         tasks = [fft]
         if load.idle:
             # Front-end processing runs even on empty slots (no PUSCH).
             return tasks
-        crc = self._new_task(TaskType.CRC_CHECK, name)
+        crc = new_task(TaskType.CRC_CHECK, name)
         slot_bytes = max(load.total_bytes, 1)
         for alloc in load.allocations:
             share = alloc.tbs_bytes / slot_bytes
             margin = alloc.snr_db - alloc.mcs.min_snr_db
+            tbs = alloc.tbs_bytes
+            rate = alloc.mcs.code_rate
+            layers = alloc.layers
             prev = fft
             for task_type in (TaskType.CHANNEL_ESTIMATION,
                               TaskType.EQUALIZATION,
                               TaskType.DEMODULATION,
                               TaskType.DESCRAMBLING,
                               TaskType.RATE_DEMATCH):
-                task = self._new_task(
-                    task_type, name,
-                    task_bytes=alloc.tbs_bytes,
-                    snr_margin_db=margin,
-                    code_rate=alloc.mcs.code_rate,
-                    prb_share=share,
-                    layers=alloc.layers,
-                )
+                task = new_task(task_type, name, 0, tbs, margin, rate,
+                                share, layers)
                 _link(prev, task)
                 tasks.append(task)
                 prev = task
-            for cbs, grp_bytes, grp_margin, rate in self._codeblock_groups(alloc):
-                decode = self._new_task(
-                    TaskType.LDPC_DECODE, name,
-                    task_codeblocks=cbs, task_bytes=grp_bytes,
-                    snr_margin_db=grp_margin, code_rate=rate,
-                    prb_share=share, layers=alloc.layers,
-                )
+            for cbs, grp_bytes, grp_margin, grp_rate in self._codeblock_groups(alloc):
+                decode = new_task(TaskType.LDPC_DECODE, name, cbs,
+                                  grp_bytes, grp_margin, grp_rate, share,
+                                  layers)
                 _link(prev, decode)
                 _link(decode, crc)
                 tasks.append(decode)
@@ -459,50 +451,43 @@ class DagBuilder:
     def _build_downlink(self, load: SlotLoad, cell: CellConfig) -> list:
         """CRC -> per-UE (encode groups -> RateMatch..Modulate) -> Precode -> iFFT."""
         name = cell.name
+        new_task = self._new_task
         if load.idle:
             # Broadcast/control symbols still get modulated and precoded.
-            mod = self._new_task(TaskType.MODULATION, name)
-            ifft = self._new_task(TaskType.IFFT, name)
+            mod = new_task(TaskType.MODULATION, name)
+            ifft = new_task(TaskType.IFFT, name)
             _link(mod, ifft)
             return [mod, ifft]
-        crc = self._new_task(TaskType.CRC_ATTACH, name)
+        crc = new_task(TaskType.CRC_ATTACH, name)
         tasks = [crc]
-        precode = self._new_task(TaskType.PRECODING, name)
+        precode = new_task(TaskType.PRECODING, name)
         slot_bytes = max(load.total_bytes, 1)
         for alloc in load.allocations:
             share = alloc.tbs_bytes / slot_bytes
             margin = alloc.snr_db - alloc.mcs.min_snr_db
-            rate_match = self._new_task(
-                TaskType.RATE_MATCH, name,
-                task_bytes=alloc.tbs_bytes, snr_margin_db=margin,
-                code_rate=alloc.mcs.code_rate, prb_share=share,
-                layers=alloc.layers,
-            )
-            for cbs, grp_bytes, grp_margin, rate in self._codeblock_groups(alloc):
-                encode = self._new_task(
-                    TaskType.LDPC_ENCODE, name,
-                    task_codeblocks=cbs, task_bytes=grp_bytes,
-                    snr_margin_db=grp_margin, code_rate=rate,
-                    prb_share=share, layers=alloc.layers,
-                )
+            tbs = alloc.tbs_bytes
+            rate = alloc.mcs.code_rate
+            layers = alloc.layers
+            rate_match = new_task(TaskType.RATE_MATCH, name, 0, tbs,
+                                  margin, rate, share, layers)
+            for cbs, grp_bytes, grp_margin, grp_rate in self._codeblock_groups(alloc):
+                encode = new_task(TaskType.LDPC_ENCODE, name, cbs,
+                                  grp_bytes, grp_margin, grp_rate, share,
+                                  layers)
                 _link(crc, encode)
                 _link(encode, rate_match)
                 tasks.append(encode)
             tasks.append(rate_match)
             prev = rate_match
             for task_type in (TaskType.SCRAMBLING, TaskType.MODULATION):
-                task = self._new_task(
-                    task_type, name,
-                    task_bytes=alloc.tbs_bytes, snr_margin_db=margin,
-                    code_rate=alloc.mcs.code_rate, prb_share=share,
-                    layers=alloc.layers,
-                )
+                task = new_task(task_type, name, 0, tbs, margin, rate,
+                                share, layers)
                 _link(prev, task)
                 tasks.append(task)
                 prev = task
             _link(prev, precode)
         tasks.append(precode)
-        ifft = self._new_task(TaskType.IFFT, name)
+        ifft = new_task(TaskType.IFFT, name)
         _link(precode, ifft)
         tasks.append(ifft)
         return tasks

@@ -174,7 +174,7 @@ class TaskInstance:
     memory_bound: bool = False
 
     def __post_init__(self) -> None:
-        self.memory_bound = self.task_type in _MEMORY_BOUND_TYPES
+        self.memory_bound = self.task_type.is_memory_bound
 
     def feature(self, name: str) -> float:
         return float(self.features[FEATURE_INDEX[name]])
@@ -208,6 +208,14 @@ _MEMORY_BOUND_TYPES = frozenset(
     {TaskType.LDPC_DECODE, TaskType.LDPC_ENCODE, TaskType.RATE_DEMATCH,
      TaskType.RATE_MATCH}
 )
+
+# Cache the two per-type lookups as plain member attributes: enum
+# hashing is a Python-level call, and DAG construction reads both once
+# per task.
+for _t in _TYPE_LIST:
+    _t.type_code = TYPE_CODE[_t]
+    _t.is_memory_bound = _t in _MEMORY_BOUND_TYPES
+del _t
 
 
 def _iteration_factor(snr_margin_db: float) -> float:

@@ -82,10 +82,43 @@ class MarkovBurstTraffic:
         bytes_ = self.rng.lognormal(self._mu, self.sigma)
         return int(min(bytes_, self.peak_bytes_per_slot))
 
+    def next_slots(self, num_slots: int) -> np.ndarray:
+        """Bytes for the next ``num_slots`` slots in one batched call.
+
+        Byte-identical to ``num_slots`` successive :meth:`next_slot`
+        calls: the Markov transition and the conditional lognormal draw
+        consume the generator's stream in exactly the per-slot order
+        (the draw count depends on the state path, so the loop cannot
+        be replaced by fixed-size vector draws) — but hoisting the
+        attribute/bound-method lookups out of the loop makes this the
+        slot-window pre-pass's bulk entry point.
+        """
+        out = np.zeros(num_slots, dtype=np.int64)
+        rng = self.rng
+        random = rng.random
+        lognormal = rng.lognormal
+        p_off = self._p_off
+        p_on = self._p_on
+        mu = self._mu
+        sigma = self.sigma
+        peak = self.peak_bytes_per_slot
+        active = self._active
+        for i in range(num_slots):
+            if active:
+                if random() < p_off:
+                    active = False
+                    continue
+            elif random() < p_on:
+                active = True
+            else:
+                continue
+            out[i] = int(min(lognormal(mu, sigma), peak))
+        self._active = active
+        return out
+
     def trace(self, num_slots: int) -> np.ndarray:
         """Generate ``num_slots`` consecutive per-slot byte counts."""
-        return np.array([self.next_slot() for _ in range(num_slots)],
-                        dtype=np.int64)
+        return self.next_slots(num_slots)
 
 
 def lte_cell_traffic(rng: Optional[np.random.Generator] = None,

@@ -9,6 +9,7 @@ structure in simplified form.
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass
 
@@ -69,14 +70,18 @@ def _build_mcs_table() -> tuple[McsEntry, ...]:
 
 MCS_TABLE: tuple[McsEntry, ...] = _build_mcs_table()
 
+#: Ascending SNR thresholds of MCS_TABLE, for bisecting link adaptation.
+_MCS_THRESHOLDS = tuple(entry.min_snr_db for entry in MCS_TABLE)
+
 
 def mcs_for_snr(snr_db: float) -> McsEntry:
-    """Highest MCS whose SNR threshold is satisfied (link adaptation)."""
-    chosen = MCS_TABLE[0]
-    for entry in MCS_TABLE:
-        if snr_db >= entry.min_snr_db:
-            chosen = entry
-    return chosen
+    """Highest MCS whose SNR threshold is satisfied (link adaptation).
+
+    The thresholds are ascending, so the rightmost satisfied entry is
+    found by bisection — this runs once per scheduled UE per slot.
+    """
+    index = bisect.bisect_right(_MCS_THRESHOLDS, snr_db)
+    return MCS_TABLE[index - 1] if index else MCS_TABLE[0]
 
 
 @dataclass(frozen=True)

@@ -28,6 +28,7 @@ per simulated second.  The ``tag`` slot discriminates entry kinds:
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable, Optional
 
 __all__ = ["Event", "Timer", "Engine", "SimulationError"]
@@ -164,6 +165,12 @@ class Engine:
         #: schedule/cancel/pop so :meth:`pending_count` is O(1).
         self._live = 0
         self.events_processed = 0
+        #: End of the active :meth:`run_until` horizon; -inf outside a
+        #: run (``step()``/drain loops), which keeps horizon-bounded
+        #: fast-forward optimizations (pool tick batching) disabled
+        #: there — they must never move an event past a horizon the
+        #: engine is not enforcing.
+        self._run_end = -math.inf
 
     @property
     def now(self) -> float:
@@ -290,6 +297,7 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        self._run_end = end_time
         heap = self._heap
         pop = heapq.heappop
         push = heapq.heappush
@@ -335,6 +343,7 @@ class Engine:
                     callback()
         finally:
             self._running = False
+            self._run_end = -math.inf
             self.events_processed += processed
         if end_time > self._now:
             self._now = end_time

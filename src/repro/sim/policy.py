@@ -63,6 +63,27 @@ class SchedulerPolicy(abc.ABC):
     def on_tick(self, now: float) -> None:
         """Periodic hook, fired every :attr:`tick_interval_us`."""
 
+    def idle_tick_bound(self, now: float) -> Optional[float]:
+        """Latest time (inclusive) through which ticks are no-ops.
+
+        Called by the pool's quiescent-gap fast-forward right after
+        :meth:`on_tick`, only when the pool itself is provably idle.
+        Return None (the default) to veto batching; returning a time T
+        certifies that, absent any other event, every tick at
+        ``now < t <= T`` would neither change core targets nor any
+        other observable state.  Policies that opt in must also
+        implement :meth:`on_ticks_skipped` to replay whatever
+        accounting those ticks would have done.
+        """
+        return None
+
+    def on_ticks_skipped(self, count: int, last_time: float) -> None:
+        """Replay accounting for ``count`` batched no-op ticks.
+
+        ``last_time`` is the time of the last skipped tick; the next
+        live tick fires one period after it.
+        """
+
     # -- predictions -----------------------------------------------------------
 
     def wcet(self, task: "TaskInstance") -> float:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+import math
 from functools import partial
 from typing import Optional
 
@@ -147,6 +148,15 @@ class VranPool:
         #: Optional hardware accelerator (repro.accel) that executes
         #: offloaded task types instead of the CPU workers (§7).
         self.accelerator = None
+        #: Promise from the slot driver: no new DAGs will be released
+        #: before this time (the next slot boundary).  -inf (the
+        #: default, kept by standalone pools) disables the quiescent
+        #: tick fast-forward in :meth:`_tick`.
+        self._quiet_until = -math.inf
+        #: Scheduler ticks consumed by the batched fast-forward instead
+        #: of individual heap events, and how many batches did it.
+        self.ticks_batched = 0
+        self.tick_batches = 0
 
         self.metrics.on_reserved_change(engine.now, config.num_cores)
         policy.attach(self)
@@ -372,14 +382,57 @@ class VranPool:
         self._running -= 1
         self._spinning += 1
         self._spin_bits |= 1 << worker.order_pos
-        self._complete_task(task, now, core=worker.core_id)
+        # Inline of _complete_task + _enqueue for the common
+        # configuration — no accelerator, no observers, no event bus,
+        # no wakeup pinning.  This runs once per completed task (the
+        # single hottest call site in the simulator); the slow path
+        # below it stays the source of truth for the rare hooks.
+        bus = self.event_bus
+        if (self.accelerator is None and self.task_observer is None
+                and not self.metrics.record_tasks
+                and not self.policy.pin_tasks_to_wakeups
+                and (bus is None or not bus.enabled)):
+            task.finish_time = now
+            dag = task.dag
+            dag.tasks_remaining -= 1
+            if dag.tasks_remaining == 0:
+                dag.completion_us = now
+                release = dag.release_us
+                self.metrics.on_slot_complete(
+                    now - release, dag.deadline_us - release)
+                try:
+                    self.active_dags.remove(dag)
+                except ValueError:
+                    pass
+                if self.dag_recycler is not None:
+                    self.dag_recycler(dag)
+            ready = self._ready
+            seq = self._seq
+            push = heapq.heappush
+            on_task_enqueued = self.policy.on_task_enqueued
+            for successor in task.successors:
+                successor.predecessors_remaining -= 1
+                if successor.predecessors_remaining == 0:
+                    successor.enqueue_time = now
+                    push(ready, (successor.deadline_us, next(seq),
+                                 successor))
+                    on_task_enqueued(successor)
+        else:
+            self._complete_task(task, now, core=worker.core_id)
         self.policy.on_task_finished(task)
         if self._ready:
             self._dispatch()
         # Coalesced running-cores sample: _finish and any same-timestamp
         # re-dispatch it triggers emit ONE metrics update with the final
-        # running count instead of one per intermediate state.
-        self.metrics.on_running_change(now, self._running)
+        # running count instead of one per intermediate state (inline of
+        # metrics.on_running_change).
+        metrics = self.metrics
+        dt = now - metrics._last_change_us
+        if dt > 0:
+            metrics.reserved_core_time_us += dt * metrics._reserved_cores
+            metrics.busy_core_time_us += dt * metrics._running_cores
+            metrics._last_change_us = now
+        metrics._running_cores = self._running
         if self._reserved != self.target_cores:
             self._apply_target()
 
@@ -560,7 +613,53 @@ class VranPool:
     # heap entry per source instead of a push/pop + closure per firing.
 
     def _tick(self) -> None:
-        self.policy.on_tick(self.engine.now)
+        engine = self.engine
+        self.policy.on_tick(engine._now)
+        # Quiescent-gap fast-forward: when the pool provably has
+        # nothing to do until the next slot boundary and the policy
+        # certifies its upcoming ticks are no-ops (idle_tick_bound),
+        # consume those ticks in one batch by re-keying the recurring
+        # tick entry to the last no-op time instead of firing a heap
+        # event per tick.  Every clamp below guards an observable:
+        #   * pool quiescence — a tick with work pending can dispatch;
+        #   * accelerator/bus/observer attached — ticks have side
+        #     channels we cannot replay in batch;
+        #   * _quiet_until — the slot driver may release new DAGs at
+        #     the boundary, and the tick right after must run live;
+        #   * peek_time — any other event may change pool state, so
+        #     never skip past one;
+        #   * engine._run_end — never move the entry past the horizon
+        #     run_until is enforcing (and stay disabled in step()).
+        if (self.active_dags or self._waking or self._ready
+                or self._pinned):
+            return
+        if self.accelerator is not None or self.task_observer is not None:
+            return
+        bus = self.event_bus
+        if bus is not None and bus.enabled:
+            return
+        bound = self.policy.idle_tick_bound(engine._now)
+        if bound is None:
+            return
+        quiet = self._quiet_until
+        run_end = engine._run_end
+        nxt = engine.peek_time()
+        period = self.policy.tick_interval_us
+        t = engine._now + period
+        skipped = 0
+        last = 0.0
+        while (t <= bound and t <= run_end and t < quiet
+               and (nxt is None or t < nxt)):
+            last = t
+            skipped += 1
+            t += period
+        if skipped:
+            self.policy.on_ticks_skipped(skipped, last)
+            # The engine re-keys this entry to last + period when this
+            # firing returns, exactly where the live path would be.
+            self._tick_event._entry[0] = last
+            self.ticks_batched += skipped
+            self.tick_batches += 1
 
     def _rotate(self) -> None:
         """Rotate preferred core order every 2 ms (§5)."""

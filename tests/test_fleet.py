@@ -105,6 +105,29 @@ class TestHistograms:
         assert histogram_percentile(hist, 1.0) == 99999.0
         assert histogram_percentile(hist, 0.0) >= 0.0
 
+    def test_percentile_interpolates_through_overflow(self):
+        # 990 in-range values plus 10 overflowed ones: p99.9 lands
+        # inside the overflow region and must interpolate between the
+        # range top and the recorded maximum — not collapse onto the
+        # single worst value.
+        values = [float(v) for v in range(1, 991)]  # < 8000 = range top
+        values += [10000.0 + 1000.0 * i for i in range(10)]  # overflow
+        hist = latency_histogram(values, 2000.0)
+        assert hist["overflow"] == 10
+        range_top = hist["bin_width_us"] * len(hist["counts"])
+        p999 = histogram_percentile(hist, 0.999)
+        assert p999 != hist["max_us"]
+        assert range_top < p999 < hist["max_us"]
+        # Monotone in the quantile, and q=1.0 still hits the max.
+        assert p999 <= histogram_percentile(hist, 0.9999) \
+            <= histogram_percentile(hist, 1.0) == hist["max_us"]
+
+    def test_histogram_rejects_bad_latencies(self):
+        for bad in (-1.0, -1e-9, float("nan"), float("inf"),
+                    float("-inf")):
+            with pytest.raises(ValueError):
+                latency_histogram([100.0, bad], 2000.0)
+
     def test_merge_rejects_mixed_geometry(self):
         with pytest.raises(ValueError):
             merge_histograms([latency_histogram([], 2000.0),
@@ -255,6 +278,37 @@ class TestPlanner:
         kinds = [e["kind"] for e in events]
         assert kinds.count("dispatch") == 2
         assert kinds.count("done") == 2
+
+    def test_dead_worker_shard_is_requeued(self, monkeypatch):
+        """Killing a worker mid-job must not forfeit its shard.
+
+        The shard is requeued (retry budget 1) and completes on a
+        surviving worker, so the report is clean and the fleet digest
+        matches the serial run byte for byte.
+        """
+        import repro.fleet.planner as planner_module
+
+        class KillFirstJobPool(ShardWorkerPool):
+            killed = False
+
+            def submit(self, worker_id, payload):
+                super().submit(worker_id, payload)
+                if not KillFirstJobPool.killed:
+                    KillFirstJobPool.killed = True
+                    self._workers[worker_id].process.terminate()
+
+        monkeypatch.setattr(planner_module, "ShardWorkerPool",
+                            KillFirstJobPool)
+        events = []
+        fleet = FleetScenario(cells=4, shards=2, num_slots=10, seed=6)
+        report = Planner(fleet, jobs=2, progress=events.append).run()
+        assert KillFirstJobPool.killed
+        assert report.ok, report.failures
+        assert [e["kind"] for e in events].count("retry") == 1
+        assert len(report.servers) == 2
+        serial = Planner(fleet, jobs=1).run()
+        assert report.fleet_digest == serial.fleet_digest
+        assert report.cell_digests == serial.cell_digests
 
 
 class TestFleetCli:

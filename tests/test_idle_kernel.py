@@ -1,0 +1,104 @@
+"""A/B byte-identity tests for the idle-slot/window batch kernel.
+
+The window kernel (``Simulation._fill_window``) pre-draws traffic,
+UE allocations and HARQ state for a whole window of slots, builds the
+non-idle DAGs through one pooled ``build_many`` call and fast-forwards
+idle slots as batched accounting.  It is only admissible because the
+result payload is byte-identical to the per-slot legacy path: every
+RNG stream must be consumed in exactly the per-slot order, and every
+release/deadline float must replay the engine's recurring-timer
+accumulation.
+
+These tests run the same scenario with the kernel on (default window)
+and off (``slot_window=0`` → legacy per-slot build) and require equal
+digests — including a HARQ scenario, whose per-cell retransmission
+state threads through the window pre-pass, and a low-load scenario
+where the idle fast path actually engages.
+"""
+
+import pytest
+
+from repro.exec.digest import result_digest
+from repro.ran.config import PoolConfig, cell_20mhz_fdd
+from repro.scenario import Scenario, build_simulation
+
+
+def _scenario(**overrides) -> Scenario:
+    base = dict(
+        pool={"name": "20mhz"},
+        policy="concordia-noml",
+        workload="redis",
+        load_fraction=0.5,
+        seed=23,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def _ab_digests(scenario: Scenario, slots: int):
+    """(windowed digest, legacy digest, windowed simulation)."""
+    windowed = build_simulation(scenario)
+    result_on = windowed.run(slots)
+    legacy = build_simulation(scenario, slot_window=0)
+    result_off = legacy.run(slots)
+    assert legacy.kernel_stats["windows"] == 0
+    return result_digest(result_on), result_digest(result_off), windowed
+
+
+class TestWindowKernelByteIdentity:
+    def test_windowed_matches_legacy(self):
+        on, off, sim = _ab_digests(_scenario(), slots=60)
+        assert on == off
+        # The kernel must actually have run for the A/B to mean much.
+        assert sim.kernel_stats["windows"] > 0
+        assert sim.kernel_stats["window_slots"] == 60
+
+    def test_windowed_matches_legacy_with_harq(self):
+        on, off, sim = _ab_digests(_scenario(harq=True), slots=60)
+        assert on == off
+        assert sim.kernel_stats["windows"] > 0
+
+    def test_flexran_policy_windowed_matches_legacy(self):
+        on, off, sim = _ab_digests(_scenario(policy="flexran"), slots=60)
+        assert on == off
+        assert sim.kernel_stats["windows"] > 0
+
+    def test_low_load_idle_fast_path_engages(self):
+        # One cell at 2 % load: most slots carry no traffic in either
+        # direction, so the pre-pass must detect and batch them.
+        pool = PoolConfig(cells=(cell_20mhz_fdd("c0"),), num_cores=4,
+                          deadline_us=2000.0)
+        scenario = _scenario(pool=pool, load_fraction=0.02,
+                             workload="none")
+        on, off, sim = _ab_digests(scenario, slots=120)
+        assert on == off
+        assert sim.kernel_stats["idle_slots"] > 0
+
+    def test_partial_trailing_window(self):
+        # A slot count that is not a window multiple exercises the
+        # clamped final fill.
+        on, off, sim = _ab_digests(_scenario(), slots=37)
+        assert on == off
+        assert sim.kernel_stats["window_slots"] == 37
+
+    def test_window_size_does_not_change_results(self):
+        scenario = _scenario()
+        digests = set()
+        for window in (1, 8, 64):
+            simulation = build_simulation(scenario, slot_window=window)
+            digests.add(result_digest(simulation.run(40)))
+        assert len(digests) == 1
+
+
+class TestKernelSelfDisable:
+    """Modes whose draws depend on execution feedback must opt out."""
+
+    @pytest.mark.parametrize("overrides", [
+        dict(allocation="mac"),
+        dict(traffic="profiling"),
+    ])
+    def test_kernel_disables_itself(self, overrides):
+        simulation = build_simulation(_scenario(**overrides))
+        simulation.run(20)
+        assert simulation.kernel_stats["windows"] == 0
+        assert simulation.kernel_stats["slots"] == 20
