@@ -202,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_cmd.add_argument("--seed", type=int, default=0)
     fleet_cmd.add_argument("--cores-per-cell", type=float, default=None,
                            help="override the kind's provisioning ratio")
+    fleet_cmd.add_argument("--reconfig", metavar="SCRIPT",
+                           help="JSON reconfig timeline (worker "
+                                "add/remove, cell detach/attach, "
+                                "mid-run migrate between shards)")
     fleet_cmd.add_argument("--verify-serial", action="store_true",
                            help="re-run unsharded+serial and require "
                                 "byte-identical per-cell digests")
@@ -473,6 +477,11 @@ def _cmd_postmortem(args) -> int:
 
 def _cmd_fleet(args) -> int:
     from .fleet import FleetScenario, Planner
+    from .scenario import load_reconfig_script
+
+    reconfig = ()
+    if args.reconfig:
+        reconfig = load_reconfig_script(args.reconfig)
 
     fleet = FleetScenario(
         cells=args.cells,
@@ -484,6 +493,7 @@ def _cmd_fleet(args) -> int:
         load_fraction=args.load,
         seed=args.seed,
         num_slots=args.slots,
+        reconfig=reconfig,
     )
 
     def progress(event) -> None:

@@ -132,6 +132,11 @@ class ConcordiaScheduler(SchedulerPolicy):
         predictor = self.predictor
         for dag in dags:
             state = _DagState(dag)
+            # Predictor warm-up after an elastic cell migration: the
+            # destination over-estimates the cell's WCETs until its
+            # predictor has history (dag.wcet_inflation is 1.0 for
+            # every DAG outside a warm-up window).
+            inflation = dag.wcet_inflation
             work = 0.0
             for task in dag.tasks:
                 predicted = None
@@ -139,6 +144,8 @@ class ConcordiaScheduler(SchedulerPolicy):
                     predicted = predictor.predict_task(task)
                 if predicted is None:
                     predicted = task.base_cost_us * self.wcet_fallback_margin
+                if inflation != 1.0:
+                    predicted *= inflation
                 task.predicted_wcet_us = predicted
                 work += predicted
             # One reverse topological sweep fills every task's longest

@@ -81,6 +81,40 @@ class ShardDemandRecorder:
             self._peak_work[name] = max(self._peak_work[name], work)
             self._slots[name] += 1
 
+    # -- elastic migration -------------------------------------------------------
+
+    def detach_cell(self, name: str) -> dict:
+        """Remove one cell's accumulators; returns the carry state.
+
+        The live hash object travels with the cell: the destination
+        recorder keeps appending to the same SHA-256 stream, so the
+        final per-cell digest of a migrated cell is byte-identical to
+        an unmigrated run's.
+        """
+        return {
+            "hash": self._hash.pop(name),
+            "work_sum": self._work_sum.pop(name),
+            "crit_sum": self._crit_sum.pop(name),
+            "peak_work": self._peak_work.pop(name),
+            "slots": self._slots.pop(name),
+            "dags": self._dags.pop(name),
+        }
+
+    def attach_cell(self, name: str, carry: dict = None) -> None:
+        """Adopt a cell, resuming from ``carry`` (or fresh counters)."""
+        if name in self._hash:
+            raise ValueError(f"recorder already tracks cell {name!r}")
+        if carry is None:
+            carry = {"hash": hashlib.sha256(), "work_sum": 0.0,
+                     "crit_sum": 0.0, "peak_work": 0.0, "slots": 0,
+                     "dags": 0}
+        self._hash[name] = carry["hash"]
+        self._work_sum[name] = carry["work_sum"]
+        self._crit_sum[name] = carry["crit_sum"]
+        self._peak_work[name] = carry["peak_work"]
+        self._slots[name] = carry["slots"]
+        self._dags[name] = carry["dags"]
+
     # -- results -----------------------------------------------------------------
 
     def cell_digests(self) -> Dict[str, str]:

@@ -29,10 +29,12 @@ import logging
 import time
 from typing import Callable, List, Optional
 
+from ..scenario import build_simulation
+from .demand import ShardDemandRecorder
 from .pool import ShardWorkerPool
 from .report import FleetReport, build_fleet_report
 from .scenario import FleetScenario, ShardSpec
-from .worker import execute_shard
+from .worker import execute_shard, shard_payload
 
 __all__ = ["Planner"]
 
@@ -62,8 +64,22 @@ class Planner:
 
     def run(self) -> FleetReport:
         shards = self.fleet.derive_shards()
+        migrations = self.fleet.migrations()
         started = time.perf_counter()
-        if self.jobs <= 1:
+        reconfig: List[dict] = []
+        if migrations:
+            # Mid-run migration needs every simulation paused at the
+            # same slot boundary, which only the in-process lockstep
+            # path can do; hermetic per-shard workers cannot exchange
+            # cells mid-run.
+            if self.jobs > 1:
+                logger.info(
+                    "reconfig timeline has %d migration(s); running "
+                    "the fleet in-process (lockstep), ignoring jobs=%d",
+                    len(migrations), self.jobs)
+            payloads, failures, stats, reconfig = self._run_lockstep(
+                shards, migrations)
+        elif self.jobs <= 1:
             payloads, failures, stats = self._run_serial(shards)
         else:
             payloads, failures, stats = self._run_pool(shards)
@@ -71,6 +87,7 @@ class Planner:
             self.fleet, payloads, failures,
             jobs=self.jobs,
             wall_s=time.perf_counter() - started,
+            reconfig=reconfig,
             **stats,
         )
 
@@ -103,6 +120,104 @@ class Planner:
                                     "max_in_flight": 1,
                                     "dispatches": len(shards)}
 
+    def _run_lockstep(self, shards: List[ShardSpec], migrations):
+        """In-process lockstep execution with mid-run cell migration.
+
+        Every shard simulation advances to each migration's slot
+        barrier; there the planner detaches the cell from the source
+        (portable snapshot: exact traffic/allocation/HARQ generator
+        states) and attaches it to the destination with the
+        migration-cost model (state-transfer hold, predictor warm-up).
+        The demand recorder's live hash travels with the cell, so the
+        migrated cell's sampling digest is byte-identical to an
+        unmigrated run's.  Per-server utilization and deadline-miss
+        counters are read at the barrier and again at the end, giving
+        each migration a before/after row in the fleet report.
+        """
+        fleet = self.fleet
+        started = time.perf_counter()
+        sims, recorders, metas = [], [], []
+        for shard in shards:
+            config = shard.scenario.pool_config()
+            simulation = build_simulation(shard.scenario)
+            recorder = ShardDemandRecorder(config.cells,
+                                           config.deadline_us)
+            simulation.demand_observer = recorder
+            sims.append(simulation)
+            recorders.append(recorder)
+            metas.append({"shard_index": shard.shard_index,
+                          "cell_id_base": shard.cell_id_base,
+                          "cell_names": list(shard.cell_names),
+                          "num_slots": shard.num_slots})
+        for simulation in sims:
+            simulation.start(fleet.num_slots)
+        # Register every pause slot before any window fills, so no
+        # generator pre-draws across a membership change.
+        for event in migrations:
+            sims[event.src_shard].add_window_barrier(event.at_slot)
+            sims[event.dst_shard].add_window_barrier(event.at_slot)
+        reconfig_rows = []
+        for event in migrations:
+            for simulation in sims:
+                simulation.run_to_barrier(event.at_slot)
+            name = fleet.resolve_cell(event.cell)
+            src = sims[event.src_shard]
+            dst = sims[event.dst_shard]
+            row = {
+                "event": event.to_dict(),
+                "cell": name,
+                "util_before": {
+                    "src": src.metrics.vran_utilization,
+                    "dst": dst.metrics.vran_utilization,
+                },
+                "miss_at_barrier": {
+                    "src": src.metrics.slot_deadlines_missed,
+                    "dst": dst.metrics.slot_deadlines_missed,
+                },
+            }
+            snapshot = src.detach_cell(name)
+            dst.attach_cell(
+                snapshot,
+                transfer_slots=event.transfer_slots,
+                warmup_slots=event.warmup_slots,
+                warmup_factor=event.warmup_factor,
+            )
+            recorders[event.dst_shard].attach_cell(
+                name, recorders[event.src_shard].detach_cell(name))
+            reconfig_rows.append(row)
+            self._emit("migrate", event.src_shard, len(shards), 0,
+                       cell=name, dst_shard=event.dst_shard,
+                       at_slot=event.at_slot)
+        for simulation in sims:
+            simulation.run_to_end()
+        wall_each = (time.perf_counter() - started) / max(1, len(sims))
+        payloads = []
+        for simulation, recorder, meta in zip(sims, recorders, metas):
+            result = simulation.finish()
+            payloads.append(shard_payload(
+                simulation, result, recorder, meta, wall_each))
+            self._emit("done", meta["shard_index"], len(shards),
+                       len(payloads), wall_s=wall_each)
+        for row, event in zip(reconfig_rows, migrations):
+            src_p = payloads[event.src_shard]
+            dst_p = payloads[event.dst_shard]
+            row["util_after"] = {
+                "src": src_p["vran_utilization"],
+                "dst": dst_p["vran_utilization"],
+            }
+            # Misses accumulated after the barrier: the migration's
+            # bounded transient shows up here (held DAGs released late
+            # with their original deadlines).
+            row["miss_after_barrier"] = {
+                "src": src_p["miss_count"]
+                - row["miss_at_barrier"]["src"],
+                "dst": dst_p["miss_count"]
+                - row["miss_at_barrier"]["dst"],
+            }
+        stats = {"workers": 0, "idle_worker_s": 0.0,
+                 "max_in_flight": 1, "dispatches": len(shards)}
+        return payloads, [], stats, reconfig_rows
+
     def _run_pool(self, shards: List[ShardSpec]):
         """Dispatch shards onto a warm worker pool until all report.
 
@@ -130,7 +245,17 @@ class Planner:
                 while queue and pool.idle_workers():
                     worker_id = pool.idle_workers()[0]
                     shard = queue.pop(0)
-                    pool.submit(worker_id, shard.to_dict())
+                    try:
+                        pool.submit(worker_id, shard.to_dict())
+                    except RuntimeError as exc:
+                        # The idle worker died before accepting; it is
+                        # already retired from the pool — put the shard
+                        # back and let a surviving worker (or the
+                        # drained-pool fallback below) take it.
+                        logger.warning("%s; requeueing shard %d",
+                                       exc, shard.shard_index)
+                        queue.insert(0, shard)
+                        continue
                     in_flight[worker_id] = (shard, time.perf_counter())
                     dispatches += 1
                     max_in_flight = max(max_in_flight, len(in_flight))

@@ -32,6 +32,21 @@ def _mp_context():
         "fork" if "fork" in methods else None)
 
 
+def _close_process(process) -> None:
+    """Release a joined worker's Process handle (its sentinel fd).
+
+    Long planner sessions retire many workers; without this the
+    sentinel pipe fd of every dead worker leaks until the Process
+    object is garbage-collected.  A process that refused to die keeps
+    its handle (``close()`` on a live process raises), which only
+    happens on the hard-kill path for a wedged child.
+    """
+    try:
+        process.close()
+    except ValueError:  # still alive after terminate+join
+        pass
+
+
 @dataclass
 class WorkerMessage:
     """One completion delivered by :meth:`ShardWorkerPool.wait`."""
@@ -91,6 +106,7 @@ class ShardWorkerPool:
                 worker.process.terminate()
                 worker.process.join(timeout=timeout_s)
             worker.conn.close()
+            _close_process(worker.process)
         self._workers.clear()
         self._started = False
 
@@ -101,6 +117,7 @@ class ShardWorkerPool:
         for worker in self._workers.values():
             worker.process.join(timeout=5.0)
             worker.conn.close()
+            _close_process(worker.process)
         self._workers.clear()
         self._started = False
 
@@ -131,7 +148,19 @@ class ShardWorkerPool:
         worker = self._workers[worker_id]
         if worker.busy:
             raise RuntimeError(f"worker {worker_id} is busy")
-        worker.conn.send(("run", payload))
+        try:
+            worker.conn.send(("run", payload))
+        except (BrokenPipeError, OSError) as exc:
+            # The worker died between wait() and submit(): retire it
+            # (closing both the pipe and the process handle) so the
+            # caller can requeue the shard on a surviving worker.
+            worker.process.join(timeout=5.0)
+            worker.conn.close()
+            _close_process(worker.process)
+            del self._workers[worker_id]
+            raise RuntimeError(
+                f"worker {worker_id} died before accepting work"
+            ) from exc
         worker.busy = True
 
     def wait(self, timeout: Optional[float] = None) -> List[WorkerMessage]:
@@ -154,6 +183,7 @@ class ShardWorkerPool:
                 worker.process.join(timeout=5.0)
                 exitcode = worker.process.exitcode
                 conn.close()
+                _close_process(worker.process)
                 del self._workers[worker.worker_id]
                 messages.append(WorkerMessage(
                     worker_id=worker.worker_id,

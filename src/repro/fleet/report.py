@@ -155,6 +155,10 @@ class FleetReport:
     #: SHA-256 over the sorted per-cell digests: one fleet-wide value
     #: that must be invariant to sharding and worker placement.
     fleet_digest: str = ""
+    #: One row per applied migration (lockstep planner path): the
+    #: event, and per-server utilization / deadline-miss counters
+    #: before and after the cell moved.  Empty for static runs.
+    reconfig: List[dict] = field(default_factory=list)
     # planner telemetry
     jobs: int = 1
     workers: int = 0
@@ -194,6 +198,7 @@ class FleetReport:
             "demand_critical": self.demand_critical,
             "cell_digests": self.cell_digests,
             "fleet_digest": self.fleet_digest,
+            "reconfig": self.reconfig,
             "planner": {
                 "jobs": self.jobs,
                 "workers": self.workers,
@@ -245,6 +250,19 @@ class FleetReport:
         for row in self.failures:
             lines.append(f"  server {row['shard_index']:3d}: FAILED — "
                          f"{row['error']}")
+        for row in self.reconfig:
+            event = row["event"]
+            lines.append(
+                f"  migrate {row['cell']} shard "
+                f"{event['src_shard']}->{event['dst_shard']} "
+                f"@slot {event['at_slot']}: util "
+                f"src {row['util_before']['src'] * 100:.1f}%"
+                f"->{row['util_after']['src'] * 100:.1f}%  "
+                f"dst {row['util_before']['dst'] * 100:.1f}%"
+                f"->{row['util_after']['dst'] * 100:.1f}%  "
+                f"transient misses "
+                f"src+{row['miss_after_barrier']['src']} "
+                f"dst+{row['miss_after_barrier']['dst']}")
         lines.append(f"fleet digest: {self.fleet_digest}")
         return "\n".join(lines)
 
@@ -267,6 +285,7 @@ def build_fleet_report(
     idle_worker_s: float = 0.0,
     max_in_flight: int = 0,
     dispatches: Optional[int] = None,
+    reconfig: Sequence[dict] = (),
 ) -> FleetReport:
     """Aggregate per-shard result payloads into a :class:`FleetReport`.
 
@@ -331,6 +350,7 @@ def build_fleet_report(
         demand_critical=demand_critical,
         cell_digests=cell_digests,
         fleet_digest=combined_digest(cell_digests),
+        reconfig=list(reconfig),
         jobs=jobs,
         workers=workers,
         wall_s=wall_s,

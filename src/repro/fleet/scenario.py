@@ -21,6 +21,7 @@ modelling one:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import asdict, dataclass, field
 from typing import Optional
@@ -31,12 +32,19 @@ from ..ran.config import (
     cell_100mhz_tdd,
     cell_20mhz_fdd,
 )
-from ..scenario import POLICY_NAMES, Scenario
+from ..scenario import POLICY_NAMES, ReconfigEvent, Scenario, \
+    reconfig_from_payload
 
-__all__ = ["FLEET_SCHEMA", "CELL_KINDS", "FleetScenario", "ShardSpec"]
+__all__ = ["FLEET_SCHEMA", "FLEET_RECONFIG_SCHEMA", "CELL_KINDS",
+           "FleetScenario", "ShardSpec"]
 
 #: Schema version embedded in serialized fleet scenarios.
 FLEET_SCHEMA = 1
+
+#: Schema used when a fleet scenario carries a reconfig timeline; an
+#: empty timeline serializes as plain :data:`FLEET_SCHEMA`, keeping
+#: pre-reconfig payloads (and cached reports) byte-identical.
+FLEET_RECONFIG_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -110,6 +118,13 @@ class FleetScenario:
     num_slots: int = 400
     allocation: str = "iid"
     harq: bool = False
+    #: Declarative fleet reconfiguration timeline
+    #: (:class:`~repro.scenario.reconfig.ReconfigEvent` or dict form):
+    #: ``migrate`` events are executed by the planner's lockstep path;
+    #: worker and detach/attach events are routed (via ``shard``) into
+    #: the target shard's own :class:`~repro.scenario.Scenario`
+    #: timeline.  ``cell`` may be a global cell index or a cell name.
+    reconfig: tuple = ()
 
     def __post_init__(self) -> None:
         if self.cells < 1:
@@ -129,6 +144,55 @@ class FleetScenario:
             raise ValueError("num_slots must be positive")
         if self.cores_per_cell is not None and self.cores_per_cell <= 0:
             raise ValueError("cores_per_cell must be positive")
+        self.reconfig = reconfig_from_payload(self.reconfig)
+        for event in self.reconfig:
+            self._validate_event(event)
+
+    def _validate_event(self, event: ReconfigEvent) -> None:
+        if isinstance(event.cell, int):
+            if not 0 <= event.cell < self.cells:
+                raise ValueError(
+                    f"reconfig cell index {event.cell} outside "
+                    f"[0, {self.cells})")
+        if event.action == "migrate":
+            for label, shard in (("src_shard", event.src_shard),
+                                 ("dst_shard", event.dst_shard)):
+                if not 0 <= shard < self.shards:
+                    raise ValueError(
+                        f"migrate {label} {shard} outside "
+                        f"[0, {self.shards})")
+            # Migration pauses every shard at the barrier slot; slot 0
+            # would mean "before the run", which is just a different
+            # initial sharding.
+            if not 1 <= event.at_slot < self.num_slots:
+                raise ValueError(
+                    f"migrate at_slot {event.at_slot} outside "
+                    f"[1, {self.num_slots})")
+        else:
+            if event.shard is None:
+                raise ValueError(
+                    f"fleet {event.action} event needs a shard to "
+                    f"route to")
+            if not 0 <= event.shard < self.shards:
+                raise ValueError(
+                    f"reconfig shard {event.shard} outside "
+                    f"[0, {self.shards})")
+            if not 0 <= event.at_slot < self.num_slots:
+                raise ValueError(
+                    f"reconfig at_slot {event.at_slot} outside "
+                    f"[0, {self.num_slots})")
+
+    def resolve_cell(self, cell) -> str:
+        """Resolve an event's ``cell`` (index or name) to a cell name."""
+        if isinstance(cell, int):
+            return self.cell_name(cell)
+        return cell
+
+    def migrations(self) -> tuple:
+        """The planner's migrate events, in ``at_slot`` order."""
+        return tuple(sorted(
+            (e for e in self.reconfig if e.action == "migrate"),
+            key=lambda e: e.at_slot))
 
     @property
     def kind(self) -> _CellKind:
@@ -169,6 +233,18 @@ class FleetScenario:
                 num_cores=max(1, math.ceil(ratio * count - 1e-9)),
                 deadline_us=self.kind.deadline_us,
             )
+            # Route this shard's non-migrate events into its own
+            # scenario timeline (migrate stays a planner verb); cell
+            # indices resolve to fleet-wide names, and the shard field
+            # drops — it has done its routing job.
+            routed = tuple(
+                dataclasses.replace(
+                    event, shard=None,
+                    cell=(None if event.cell is None
+                          else self.resolve_cell(event.cell)))
+                for event in self.reconfig
+                if event.action != "migrate"
+                and event.shard == shard_index)
             scenario = Scenario(
                 pool=pool,
                 policy=self.policy,
@@ -179,6 +255,7 @@ class FleetScenario:
                 allocation=self.allocation,
                 harq=self.harq,
                 cell_id_base=base,
+                reconfig=routed,
             )
             shards.append(ShardSpec(
                 shard_index=shard_index,
@@ -199,12 +276,20 @@ class FleetScenario:
 
     def to_dict(self) -> dict:
         payload = asdict(self)
-        payload["schema"] = FLEET_SCHEMA
+        if self.reconfig:
+            payload["reconfig"] = [e.to_dict() for e in self.reconfig]
+            payload["schema"] = FLEET_RECONFIG_SCHEMA
+        else:
+            # An empty timeline serializes exactly as a pre-reconfig
+            # fleet scenario (same invariant as Scenario.reconfig).
+            del payload["reconfig"]
+            payload["schema"] = FLEET_SCHEMA
         return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FleetScenario":
-        if payload.get("schema") != FLEET_SCHEMA:
+        if payload.get("schema") not in (FLEET_SCHEMA,
+                                         FLEET_RECONFIG_SCHEMA):
             raise ValueError(
                 f"unsupported fleet schema {payload.get('schema')!r}")
         fields_ = {k: v for k, v in payload.items() if k != "schema"}

@@ -23,7 +23,47 @@ from ..scenario import Scenario, build_simulation
 from .demand import ShardDemandRecorder
 from .report import latency_histogram
 
-__all__ = ["execute_shard", "shard_worker_loop"]
+__all__ = ["execute_shard", "shard_payload", "shard_worker_loop"]
+
+
+def shard_payload(simulation, result, recorder, meta: dict,
+                  wall_s: float) -> dict:
+    """The per-shard result payload, from a finished simulation.
+
+    ``meta`` carries the shard identity keys (``shard_index``,
+    ``cell_id_base``, ``cell_names``, ``num_slots``).  Shared by
+    :func:`execute_shard` and the planner's in-process lockstep
+    migration path, so both produce identical payload shapes.
+    """
+    metrics = simulation.metrics
+    latency = result.latency
+    deadline_us = simulation.pool_config.deadline_us
+    return {
+        "schema": 1,
+        "shard_index": meta["shard_index"],
+        "cell_id_base": meta["cell_id_base"],
+        "cell_names": list(meta["cell_names"]),
+        "num_cores": simulation.pool.num_cores,
+        "num_slots": meta["num_slots"],
+        "wall_s": wall_s,
+        "latency": {
+            "mean_us": latency.mean_us,
+            "p50_us": latency.p50_us,
+            "p99_us": latency.p99_us,
+            "p9999_us": latency.p9999_us,
+            "max_us": latency.max_us,
+        },
+        "histogram": latency_histogram(metrics.slot_latencies,
+                                       deadline_us),
+        "miss_count": metrics.slot_deadlines_missed,
+        "slot_count": metrics.slot_count,
+        "reclaimed_fraction": result.reclaimed_fraction,
+        "vran_utilization": result.vran_utilization,
+        "scheduling_events": result.scheduling_events,
+        "duration_us": result.duration_us,
+        "cell_digests": recorder.cell_digests(),
+        "demand": recorder.demand_payload(),
+    }
 
 
 def execute_shard(payload: dict) -> dict:
@@ -40,34 +80,8 @@ def execute_shard(payload: dict) -> dict:
     recorder = ShardDemandRecorder(config.cells, config.deadline_us)
     simulation.demand_observer = recorder
     result = simulation.run(payload["num_slots"])
-    metrics = simulation.metrics
-    latency = result.latency
-    return {
-        "schema": 1,
-        "shard_index": payload["shard_index"],
-        "cell_id_base": payload["cell_id_base"],
-        "cell_names": list(payload["cell_names"]),
-        "num_cores": config.num_cores,
-        "num_slots": payload["num_slots"],
-        "wall_s": time.perf_counter() - started,
-        "latency": {
-            "mean_us": latency.mean_us,
-            "p50_us": latency.p50_us,
-            "p99_us": latency.p99_us,
-            "p9999_us": latency.p9999_us,
-            "max_us": latency.max_us,
-        },
-        "histogram": latency_histogram(metrics.slot_latencies,
-                                       config.deadline_us),
-        "miss_count": metrics.slot_deadlines_missed,
-        "slot_count": metrics.slot_count,
-        "reclaimed_fraction": result.reclaimed_fraction,
-        "vran_utilization": result.vran_utilization,
-        "scheduling_events": result.scheduling_events,
-        "duration_us": result.duration_us,
-        "cell_digests": recorder.cell_digests(),
-        "demand": recorder.demand_payload(),
-    }
+    return shard_payload(simulation, result, recorder, payload,
+                         time.perf_counter() - started)
 
 
 def shard_worker_loop(conn, worker_id: int) -> None:

@@ -76,6 +76,13 @@ class CoreEvent:
     signalled awake), ``core_release`` (a worker yields) and
     ``core_rotate`` (the 2 ms preferred-order rotation, §5).
     ``reserved`` is the pool's reserved count *after* the transition.
+
+    Elastic reconfiguration adds four kinds: ``pool.core_grant`` /
+    ``pool.core_revoke`` (the vRAN↔best-effort ratchet changed the
+    effective reserved set; ``core`` carries the *signed delta*, one
+    aggregate event per ``_apply_target`` that changed anything) and
+    ``pool.worker_add`` / ``pool.worker_remove`` (the physical core
+    set grew or shrank; ``core`` is the worker's core id).
     """
 
     ts_us: float

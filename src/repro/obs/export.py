@@ -132,6 +132,17 @@ def chrome_trace(events: Iterable) -> dict:
         elif isinstance(event, CoreEvent):
             if event.kind == "core_rotate":
                 continue
+            if event.kind.startswith("pool."):
+                # Elastic reconfiguration: a thread-scoped instant
+                # marks the grant/revoke/add/remove in the viewer,
+                # followed by the usual reserved-count sample.
+                trace.append({
+                    "name": event.kind, "cat": "sched", "ph": "i",
+                    "s": "t", "ts": ts, "pid": _PID_CORES, "tid": 0,
+                    "args": {"core": event.core,
+                             "reserved": event.reserved,
+                             "target": event.target},
+                })
             trace.append({
                 "name": "reserved cores", "cat": "sched", "ph": "C",
                 "ts": ts, "pid": _PID_CORES, "tid": 0,

@@ -64,6 +64,12 @@ class DagInstance:
     #: three per-task policy hooks.  Cleared by the policy when the DAG
     #: completes and on builder-pool reuse.
     policy_state: Optional[object] = None
+    #: Predictor warm-up (elastic reconfiguration): the scheduling
+    #: policy multiplies its per-task WCET predictions by this factor.
+    #: A freshly migrated cell's DAGs carry >1.0 while the destination
+    #: predictor has no history for the cell; sampling and ground-truth
+    #: runtimes are never scaled, so demand digests are unaffected.
+    wcet_inflation: float = 1.0
 
     @property
     def finished(self) -> bool:
@@ -389,6 +395,7 @@ class DagBuilder:
                 dag.tasks_remaining = n
                 dag.completion_us = None
                 dag.policy_state = None
+                dag.wcet_inflation = 1.0
             else:
                 dag = DagInstance(
                     dag_id=next(self._dag_ids),

@@ -8,22 +8,38 @@ map.
 
 from .scenario import (
     NAMED_POOLS,
+    RECONFIG_SCHEMA,
     SCENARIO_SCHEMA,
     Scenario,
+    cell_config_from_dict,
+    cell_config_to_dict,
     pool_config_from_dict,
     pool_config_to_dict,
     resolve_pool,
+)
+from .reconfig import (
+    RECONFIG_ACTIONS,
+    ReconfigEvent,
+    load_reconfig_script,
+    reconfig_from_payload,
 )
 from .assembly import POLICY_NAMES, build_policy, build_simulation
 
 __all__ = [
     "NAMED_POOLS",
     "POLICY_NAMES",
+    "RECONFIG_ACTIONS",
+    "RECONFIG_SCHEMA",
+    "ReconfigEvent",
     "SCENARIO_SCHEMA",
     "Scenario",
     "build_policy",
     "build_simulation",
+    "cell_config_from_dict",
+    "cell_config_to_dict",
+    "load_reconfig_script",
     "pool_config_from_dict",
     "pool_config_to_dict",
+    "reconfig_from_payload",
     "resolve_pool",
 ]

@@ -28,11 +28,15 @@ from ..ran.config import (
     pool_100mhz_2cells,
     pool_20mhz_7cells,
 )
+from .reconfig import reconfig_from_payload
 
 __all__ = [
     "SCENARIO_SCHEMA",
+    "RECONFIG_SCHEMA",
     "NAMED_POOLS",
     "Scenario",
+    "cell_config_from_dict",
+    "cell_config_to_dict",
     "pool_config_from_dict",
     "pool_config_to_dict",
     "resolve_pool",
@@ -41,6 +45,13 @@ __all__ = [
 #: Schema version embedded in serialized scenarios; bump on breaking
 #: changes so stale payloads can never be misread.
 SCENARIO_SCHEMA = 1
+
+#: Schema used when a scenario carries a reconfig timeline.  Scenarios
+#: with an *empty* timeline serialize as plain ``SCENARIO_SCHEMA``
+#: payloads, byte-identical to pre-reconfig ones (same rationale as the
+#: ``cell_id_base`` omission below).  Schema 2 was never released for
+#: scenarios; 3 aligns the scenario and result schema numbering.
+RECONFIG_SCHEMA = 3
 
 #: Named pool deployments (paper Table 1/2).  A ``{"name": ..., **kw}``
 #: pool reference calls the factory with the remaining keys as
@@ -57,26 +68,51 @@ _TRAFFIC_MODES = ("model", "profiling")
 # -- pool configuration (de)serialization -----------------------------------------
 
 
+def cell_config_to_dict(cell: CellConfig) -> dict:
+    """Inline one :class:`CellConfig` as a JSON-able dict.
+
+    Also the cell half of a detached-cell snapshot
+    (:meth:`repro.sim.runner.Simulation.detach_cell`): a cell's static
+    configuration travels with its portable RNG/HARQ state.
+    """
+    return {
+        "name": cell.name,
+        "bandwidth_mhz": cell.bandwidth_mhz,
+        "duplex": cell.duplex.value,
+        "numerology": cell.numerology,
+        "peak_dl_mbps": cell.peak_dl_mbps,
+        "peak_ul_mbps": cell.peak_ul_mbps,
+        "avg_dl_mbps": cell.avg_dl_mbps,
+        "avg_ul_mbps": cell.avg_ul_mbps,
+        "max_ues_per_slot": cell.max_ues_per_slot,
+        "num_antennas": cell.num_antennas,
+        "max_layers": cell.max_layers,
+        "tdd_pattern": "".join(s.value for s in cell.tdd_pattern),
+    }
+
+
+def cell_config_from_dict(c: dict) -> CellConfig:
+    """Rebuild a :class:`CellConfig` from :func:`cell_config_to_dict`."""
+    return CellConfig(
+        name=c["name"],
+        bandwidth_mhz=c["bandwidth_mhz"],
+        duplex=Duplex(c["duplex"]),
+        numerology=c["numerology"],
+        peak_dl_mbps=c["peak_dl_mbps"],
+        peak_ul_mbps=c["peak_ul_mbps"],
+        avg_dl_mbps=c["avg_dl_mbps"],
+        avg_ul_mbps=c["avg_ul_mbps"],
+        max_ues_per_slot=c["max_ues_per_slot"],
+        num_antennas=c["num_antennas"],
+        max_layers=c["max_layers"],
+        tdd_pattern=tuple(SlotType(s) for s in c["tdd_pattern"]),
+    )
+
+
 def pool_config_to_dict(config: PoolConfig) -> dict:
     """Inline a :class:`PoolConfig` as a JSON-able dict."""
     return {
-        "cells": [
-            {
-                "name": cell.name,
-                "bandwidth_mhz": cell.bandwidth_mhz,
-                "duplex": cell.duplex.value,
-                "numerology": cell.numerology,
-                "peak_dl_mbps": cell.peak_dl_mbps,
-                "peak_ul_mbps": cell.peak_ul_mbps,
-                "avg_dl_mbps": cell.avg_dl_mbps,
-                "avg_ul_mbps": cell.avg_ul_mbps,
-                "max_ues_per_slot": cell.max_ues_per_slot,
-                "num_antennas": cell.num_antennas,
-                "max_layers": cell.max_layers,
-                "tdd_pattern": "".join(s.value for s in cell.tdd_pattern),
-            }
-            for cell in config.cells
-        ],
+        "cells": [cell_config_to_dict(cell) for cell in config.cells],
         "num_cores": config.num_cores,
         "deadline_us": config.deadline_us,
         "scheduler_tick_us": config.scheduler_tick_us,
@@ -86,23 +122,7 @@ def pool_config_to_dict(config: PoolConfig) -> dict:
 
 def pool_config_from_dict(payload: dict) -> PoolConfig:
     """Rebuild a :class:`PoolConfig` from :func:`pool_config_to_dict`."""
-    cells = tuple(
-        CellConfig(
-            name=c["name"],
-            bandwidth_mhz=c["bandwidth_mhz"],
-            duplex=Duplex(c["duplex"]),
-            numerology=c["numerology"],
-            peak_dl_mbps=c["peak_dl_mbps"],
-            peak_ul_mbps=c["peak_ul_mbps"],
-            avg_dl_mbps=c["avg_dl_mbps"],
-            avg_ul_mbps=c["avg_ul_mbps"],
-            max_ues_per_slot=c["max_ues_per_slot"],
-            num_antennas=c["num_antennas"],
-            max_layers=c["max_layers"],
-            tdd_pattern=tuple(SlotType(s) for s in c["tdd_pattern"]),
-        )
-        for c in payload["cells"]
-    )
+    cells = tuple(cell_config_from_dict(c) for c in payload["cells"])
     return PoolConfig(
         cells=cells,
         num_cores=payload["num_cores"],
@@ -173,6 +193,13 @@ class Scenario:
     #: byte-identically no matter how the fleet is sharded.  ``None``
     #: keeps the legacy single-server keying (and digests) unchanged.
     cell_id_base: Optional[int] = None
+    #: Declarative reconfiguration timeline: a tuple of
+    #: :class:`~repro.scenario.reconfig.ReconfigEvent` (or their dict
+    #: form) applied at slot boundaries — worker add/remove and cell
+    #: detach/attach within this one simulation.  Empty (the default)
+    #: keeps the legacy schema and digests byte-identical; non-empty
+    #: scenarios serialize as :data:`RECONFIG_SCHEMA`.
+    reconfig: tuple = ()
 
     def __post_init__(self) -> None:
         if self.allocation not in _ALLOCATION_MODES:
@@ -184,6 +211,7 @@ class Scenario:
                 f"traffic must be one of {_TRAFFIC_MODES}, "
                 f"got {self.traffic!r}")
         self.mix_interval_us = tuple(self.mix_interval_us)
+        self.reconfig = reconfig_from_payload(self.reconfig)
 
     @property
     def profiling_traffic(self) -> bool:
@@ -204,12 +232,19 @@ class Scenario:
             # the fleet layer existed, keeping cached results and the
             # golden result digests byte-identical.
             del payload["cell_id_base"]
-        payload["schema"] = SCENARIO_SCHEMA
+        if self.reconfig:
+            payload["reconfig"] = [e.to_dict() for e in self.reconfig]
+            payload["schema"] = RECONFIG_SCHEMA
+        else:
+            # Same invariant as cell_id_base: an empty timeline
+            # serializes exactly as a pre-reconfig scenario.
+            del payload["reconfig"]
+            payload["schema"] = SCENARIO_SCHEMA
         return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Scenario":
-        if payload.get("schema") != SCENARIO_SCHEMA:
+        if payload.get("schema") not in (SCENARIO_SCHEMA, RECONFIG_SCHEMA):
             raise ValueError(
                 f"unsupported scenario schema {payload.get('schema')!r}")
         fields_ = {k: v for k, v in payload.items() if k != "schema"}

@@ -75,6 +75,28 @@ class Event:
         entry[3] = None
         self._engine._live -= 1
 
+    def rekey(self, time: float) -> None:
+        """Move a *recurring* entry's base time from inside its callback.
+
+        After the callback returns, the engine re-keys the entry to
+        ``time + period`` — so a periodic source that has proven its
+        next N firings are no-ops (the pool's quiescent tick
+        fast-forward) can skip them without cancelling and
+        re-allocating its entry.  Only meaningful mid-firing, on a
+        :meth:`Engine.schedule_every` event; the new base must not be
+        in the past.
+        """
+        entry = self._entry
+        if type(entry[3]) is not float:
+            raise SimulationError("rekey() applies to recurring events only")
+        if entry[2] is None:
+            raise SimulationError("cannot rekey a cancelled event")
+        if time < self._engine._now:
+            raise SimulationError(
+                f"cannot rekey event into the past: {time} < {self._engine._now}"
+            )
+        entry[0] = time
+
 
 class Timer:
     """Reusable one-shot timer: one heap entry, re-keyed on every arm.

@@ -68,6 +68,13 @@ class Metrics:
 
     def __init__(self, num_cores: int) -> None:
         self.num_cores = num_cores
+        self._initial_cores = num_cores
+        #: ``(time_us, num_cores)`` steps recorded by elastic
+        #: reconfiguration (``VranPool.add_worker``/``remove_worker``).
+        #: Empty for the (overwhelmingly common) fixed-capacity run, in
+        #: which case the legacy closed-form core-time integral is used
+        #: unchanged.
+        self._capacity_segments: list[tuple[float, int]] = []
         self.registry = MetricsRegistry()
         self.slot_latencies: list[float] = []
         # Core-time integrals (core-µs).
@@ -107,6 +114,17 @@ class Metrics:
         self._advance(now_us)
         self._reserved_cores = reserved
 
+    def on_capacity_change(self, now_us: float, num_cores: int) -> None:
+        """Called when the *physical* core count of the pool changes.
+
+        Elastic worker add/remove turns ``total_core_time_us`` into a
+        piecewise integral; runs that never reconfigure keep the exact
+        legacy ``duration * num_cores`` closed form.
+        """
+        self._advance(now_us)
+        self._capacity_segments.append((now_us, num_cores))
+        self.num_cores = num_cores
+
     def on_running_change(self, now_us: float, running: int) -> None:
         """Called whenever the number of cores executing tasks changes."""
         # Inline of _advance(): one call per task completion.
@@ -132,7 +150,21 @@ class Metrics:
 
     @property
     def total_core_time_us(self) -> float:
-        return self.duration_us * self.num_cores
+        segments = self._capacity_segments
+        if not segments:
+            return self.duration_us * self.num_cores
+        # Piecewise integral over capacity steps (elastic runs only).
+        end = max(self.end_time_us, self._last_change_us)
+        prev_t = self.start_time_us
+        prev_n = self._initial_cores
+        total = 0.0
+        for t, n in segments:
+            t = min(max(t, prev_t), end)
+            total += (t - prev_t) * prev_n
+            prev_t, prev_n = t, n
+        if end > prev_t:
+            total += (end - prev_t) * prev_n
+        return max(total, 1e-9)
 
     @property
     def reclaimed_fraction(self) -> float:

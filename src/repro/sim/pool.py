@@ -48,11 +48,15 @@ class Worker:
     """One worker thread pinned to one CPU core."""
 
     __slots__ = ("core_id", "state", "current_task", "wake_signaled_at",
-                 "pinned_task", "finish_timer", "wake_timer", "order_pos")
+                 "pinned_task", "finish_timer", "wake_timer", "order_pos",
+                 "retiring")
 
     def __init__(self, core_id: int) -> None:
         self.core_id = core_id
         self.state = WorkerState.SPINNING
+        #: Set by :meth:`VranPool.remove_worker` on a busy worker:
+        #: drain the in-flight wakeup/task, then leave the pool.
+        self.retiring = False
         self.current_task: Optional[TaskInstance] = None
         self.wake_signaled_at: Optional[float] = None
         #: Task bound to this worker's queue while it wakes up
@@ -96,6 +100,11 @@ class VranPool:
         self.metrics = metrics if metrics is not None else \
             Metrics(config.num_cores)
 
+        #: Physical core count, mutable via add_worker/remove_worker
+        #: (elastic reconfiguration); ``config.num_cores`` keeps the
+        #: provisioned value the pool was built with.
+        self._num_cores = config.num_cores
+        self._next_core_id = config.num_cores
         self.workers = [Worker(i) for i in range(config.num_cores)]
         for worker in self.workers:
             worker.finish_timer = engine.timer(
@@ -179,7 +188,7 @@ class VranPool:
 
     @property
     def num_cores(self) -> int:
-        return self.config.num_cores
+        return self._num_cores
 
     @property
     def now(self) -> float:
@@ -382,6 +391,19 @@ class VranPool:
         self._running -= 1
         self._spinning += 1
         self._spin_bits |= 1 << worker.order_pos
+        if worker.retiring:
+            # Drain-then-retire (elastic remove_worker): the drained
+            # task completes normally, then the core leaves the pool
+            # before it can pick up new work.
+            self._complete_task(task, now, core=worker.core_id)
+            self.policy.on_task_finished(task)
+            self._retire(worker)
+            if self._ready:
+                self._dispatch()
+            self.metrics.on_running_change(now, self._running)
+            if self._reserved != self.target_cores:
+                self._apply_target()
+            return
         # Inline of _complete_task + _enqueue for the common
         # configuration — no accelerator, no observers, no event bus,
         # no wakeup pinning.  This runs once per completed task (the
@@ -534,6 +556,142 @@ class VranPool:
             while excess and self._spin_bits:
                 self._yield(order[self._spin_bits.bit_length() - 1])
                 excess -= 1
+        # One aggregate grant/revoke record per effective change, on
+        # top of the per-core reserve/release events: postmortems
+        # correlate misses with reclaim *decisions*, not single cores.
+        # The ``core`` field carries the signed core-count delta.
+        bus = self.event_bus
+        if bus is not None and bus.enabled and self._reserved != reserved:
+            kind = ("pool.core_grant" if self._reserved > reserved
+                    else "pool.core_revoke")
+            bus.record(REC_CORE, self.now, kind, self._reserved - reserved,
+                       self._reserved, self.target_cores)
+
+    # -- elastic capacity -----------------------------------------------------------
+    # Distinct from the request_cores ratchet above: these change how
+    # many physical cores the pool *has*, not how the existing cores
+    # are split between vRAN and best-effort.
+
+    def add_worker(self, core_id: Optional[int] = None) -> int:
+        """Grow the physical core set by one worker, mid-run.
+
+        The new worker joins YIELDED — its core belongs to best-effort
+        until the policy raises its target — at the end of the current
+        preference order.  Returns the new worker's core id.
+        """
+        if core_id is None:
+            core_id = self._next_core_id
+        elif any(w.core_id == core_id for w in self.workers):
+            raise ValueError(f"core_id {core_id} already in the pool")
+        self._next_core_id = max(self._next_core_id, core_id + 1)
+        worker = Worker(core_id)
+        worker.state = WorkerState.YIELDED
+        worker.finish_timer = self.engine.timer(partial(self._finish, worker))
+        worker.wake_timer = self.engine.timer(partial(self._awake, worker))
+        self.workers.append(worker)
+        pos = len(self._order)
+        worker.order_pos = pos
+        self._order.append(worker)
+        self._yield_bits |= 1 << pos
+        self._num_cores += 1
+        now = self.now
+        self.metrics.on_capacity_change(now, self._num_cores)
+        bus = self.event_bus
+        if bus is not None and bus.enabled:
+            bus.record(REC_CORE, now, "pool.worker_add", worker.core_id,
+                       self._reserved, self.target_cores)
+        self._notify_available()
+        if self._reserved != self.target_cores:
+            self._apply_target()
+        return worker.core_id
+
+    def remove_worker(self, core_id: Optional[int] = None) -> int:
+        """Shrink the physical core set by one worker.
+
+        An idle (yielded or spinning) worker retires immediately; a
+        busy (waking or running) worker is *drained* — marked retiring
+        and retired the moment its in-flight wakeup or task completes,
+        never preempted mid-task.  Without an explicit ``core_id`` the
+        least-preferred idle worker is chosen.  Returns the core id of
+        the (eventually) retired worker.
+        """
+        if self._num_cores <= 1:
+            raise ValueError("cannot remove the last worker")
+        worker = self._pick_removal(core_id)
+        if worker.state in (WorkerState.YIELDED, WorkerState.SPINNING):
+            self._retire(worker)
+        else:
+            worker.retiring = True
+        return worker.core_id
+
+    def _pick_removal(self, core_id: Optional[int]) -> Worker:
+        if core_id is not None:
+            for worker in self.workers:
+                if worker.core_id == core_id:
+                    if worker.retiring:
+                        raise ValueError(
+                            f"core {core_id} is already retiring")
+                    return worker
+            raise ValueError(f"no such core: {core_id}")
+        # Least-preferred first; cheapest state first (yielded cores
+        # are already outside the vRAN set, spinning ones need no
+        # drain).  Retiring workers are never in the bitmaps.
+        order = self._order
+        if self._yield_bits:
+            return order[self._yield_bits.bit_length() - 1]
+        if self._spin_bits:
+            return order[self._spin_bits.bit_length() - 1]
+        for worker in reversed(order):
+            if not worker.retiring:
+                return worker
+        raise ValueError("every remaining worker is already retiring")
+
+    def _retire(self, worker: Worker) -> None:
+        """Remove ``worker`` from the pool; resize dispatch structures."""
+        state = worker.state
+        worker.retiring = False
+        worker.finish_timer.cancel()
+        worker.wake_timer.cancel()
+        self.workers.remove(worker)
+        self._order.remove(worker)
+        reserved_changed = False
+        if state is WorkerState.SPINNING:
+            self._reserved -= 1
+            self._spinning -= 1
+            reserved_changed = True
+        elif state is WorkerState.WAKING:
+            self._reserved -= 1
+            self._waking -= 1
+            reserved_changed = True
+        self._num_cores -= 1
+        if self.target_cores > self._num_cores:
+            self.target_cores = self._num_cores
+        self._rebuild_bitmaps()
+        now = self.now
+        self.metrics.on_capacity_change(now, self._num_cores)
+        if reserved_changed:
+            self.cache_model.record_scheduling_event(now)
+            self.metrics.on_reserved_change(now, self._reserved)
+        bus = self.event_bus
+        if bus is not None and bus.enabled:
+            bus.record(REC_CORE, now, "pool.worker_remove", worker.core_id,
+                       self._reserved, self.target_cores)
+        self._notify_available()
+
+    def _rebuild_bitmaps(self) -> None:
+        """Recompute order positions and free bitmaps from ``_order``."""
+        spin_bits = 0
+        yield_bits = 0
+        spinning = WorkerState.SPINNING
+        yielded = WorkerState.YIELDED
+        for pos, worker in enumerate(self._order):
+            worker.order_pos = pos
+            if worker.state is spinning:
+                spin_bits |= 1 << pos
+            elif worker.state is yielded:
+                yield_bits |= 1 << pos
+        self._spin_bits = spin_bits
+        self._yield_bits = yield_bits
 
     def _wake(self, worker: Worker) -> None:
         worker.state = WorkerState.WAKING
@@ -577,6 +735,13 @@ class VranPool:
                 self._start(worker, pinned)
                 self.metrics.on_running_change(self.now, self._running)
                 return
+        if worker.retiring:
+            # Drained its in-flight wakeup with no pinned work to
+            # honour: retire now (elastic remove_worker).
+            self._retire(worker)
+            if self._reserved != self.target_cores:
+                self._apply_target()
+            return
         running_before = self._running
         self._dispatch()
         if self._running != running_before:
@@ -657,7 +822,7 @@ class VranPool:
             self.policy.on_ticks_skipped(skipped, last)
             # The engine re-keys this entry to last + period when this
             # firing returns, exactly where the live path would be.
-            self._tick_event._entry[0] = last
+            self._tick_event.rekey(last)
             self.ticks_batched += skipped
             self.tick_batches += 1
 
@@ -667,22 +832,11 @@ class VranPool:
         offset = self._rotation_offset
         workers = self.workers
         n = self.num_cores
-        self._order = order = [workers[(i + offset) % n] for i in range(n)]
+        self._order = [workers[(i + offset) % n] for i in range(n)]
         # Rebuild the position-keyed free bitmaps (rotation is rare —
         # every 2 ms — so an O(cores) rebuild here keeps the per-task
         # paths O(1)).
-        spin_bits = 0
-        yield_bits = 0
-        spinning = WorkerState.SPINNING
-        yielded = WorkerState.YIELDED
-        for pos, worker in enumerate(order):
-            worker.order_pos = pos
-            if worker.state is spinning:
-                spin_bits |= 1 << pos
-            elif worker.state is yielded:
-                yield_bits |= 1 << pos
-        self._spin_bits = spin_bits
-        self._yield_bits = yield_bits
+        self._rebuild_bitmaps()
         bus = self.event_bus
         if bus is not None and bus.enabled:
             bus.record(REC_CORE, self.now, "core_rotate",

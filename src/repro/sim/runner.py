@@ -54,11 +54,11 @@ import numpy as np
 
 from ..ran.config import PoolConfig, SlotType
 from ..ran.dag import DagBuilder
-from ..ran.harq import HarqManager
+from ..ran.harq import HarqConfig, HarqManager, _PendingRetransmission
 from ..ran.mac import MacCell
 from ..ran.tasks import CostModel
 from ..ran.traffic import CellTraffic
-from ..ran.ue import SlotLoad, bytes_to_allocations
+from ..ran.ue import MCS_TABLE, SlotLoad, UeAllocation, bytes_to_allocations
 from ..workloads.base import WorkloadHost
 from ..workloads.catalog import MixController, make_workload
 from .cache import CacheInterferenceModel
@@ -397,6 +397,32 @@ class Simulation:
         #: layer attaches a demand recorder here to compute per-cell
         #: sampling digests and federated core-demand rollups.
         self.demand_observer = None
+        # Mutable cell membership (elastic reconfiguration).  These
+        # parallel lists are the slot pipeline's source of truth —
+        # ``pool_config`` stays the frozen as-built description.
+        # Index i of _cell_list/_cell_gids/traffic/_rng_alloc_cells/
+        # _harq all refer to the same attached cell.
+        self._cell_list = list(pool_config.cells)
+        self._cell_gids = list(
+            range(cell_base, cell_base + len(pool_config.cells)))
+        #: Snapshots stashed by a timeline ``detach_cell``, keyed by
+        #: cell name, for a later ``attach_cell`` (outage scripting).
+        self.detached_cells: dict = {}
+        # Migration-cost model state: cells whose freshly built DAGs
+        # are buffered until a hold slot (state-transfer delay), and
+        # cells whose WCET predictions are inflated while the
+        # destination's predictor warms up.
+        self._held_cells: dict = {}
+        self._backlog: list = []
+        self._warm_cells: dict = {}
+        #: Slot indices the window kernel must not pre-draw across
+        #: (reconfiguration barriers).
+        self._window_barriers: set = set()
+        self._reconfig_queue: list = []
+        self._started = False
+        self._run_start = 0.0
+        self._end_time = 0.0
+        self._num_slots = 0
         self._slot_index = 0
         self._slots_remaining = 0
         self._slot_event = None
@@ -426,7 +452,7 @@ class Simulation:
 
     def _draw_bytes(self, cell_index: int, uplink: bool,
                     scale: float = 1.0) -> int:
-        cell = self.pool_config.cells[cell_index]
+        cell = self._cell_list[cell_index]
         if self.profiling_traffic:
             # Offline profiling sweeps the input space uniformly
             # (paper §4.2: parameters varied every TTI).
@@ -439,7 +465,7 @@ class Simulation:
         return int(source.next_slot() * scale)
 
     def _loads_for_slot(self, cell_index: int, slot_index: int) -> list:
-        cell = self.pool_config.cells[cell_index]
+        cell = self._cell_list[cell_index]
         loads = []
         for uplink, scale in _slot_directions(cell, slot_index):
             if self.allocation_mode == "mac":
@@ -498,8 +524,17 @@ class Simulation:
         count = self._slots_remaining
         if count > self.slot_window:
             count = self.slot_window
-        cells = self.pool_config.cells
         start_slot = self._slot_index
+        # Never pre-draw across a reconfiguration barrier: cell
+        # membership (and hence the draw plan) may change there.  The
+        # clamp only narrows window widths — each generator still
+        # consumes its draws in exact slot order — so digests are
+        # unaffected; with an empty timeline there are no barriers and
+        # the widths are exactly the legacy ones.
+        for barrier in self._window_barriers:
+            if start_slot < barrier < start_slot + count:
+                count = barrier - start_slot
+        cells = self._cell_list
         # Direction plan per cell and slot, then one batched traffic
         # draw per (cell, direction) generator covering the window.
         plans = []
@@ -522,7 +557,7 @@ class Simulation:
         jobs = []
         job_counts = []
         idle_flags = []
-        cell_base = self._cell_id_base
+        gids = self._cell_gids
         harq = self._harq
         alloc_cells = self._rng_alloc_cells
         shared_alloc = self._rng_alloc
@@ -555,7 +590,7 @@ class Simulation:
                                           uplink=uplink,
                                           allocations=allocations),
                                  cell, release, deadline,
-                                 cell_base + cell_index))
+                                 gids[cell_index]))
                     n_jobs += 1
             job_counts.append(n_jobs)
             idle_flags.append(idle)
@@ -575,6 +610,10 @@ class Simulation:
         stats["window_slots"] += count
 
     def _on_slot_boundary(self) -> None:
+        if self._reconfig_queue:
+            queue = self._reconfig_queue
+            if queue[0].at_slot <= self._slot_index:
+                self._apply_due_reconfig()
         stats = self.kernel_stats
         stats["slots"] += 1
         if self._use_window:
@@ -587,18 +626,22 @@ class Simulation:
             now = self.engine.now
             deadline = now + self.pool_config.deadline_us
             jobs = []
-            cell_base = self._cell_id_base
-            for cell_index, cell in enumerate(self.pool_config.cells):
+            gids = self._cell_gids
+            for cell_index, cell in enumerate(self._cell_list):
                 for load in self._loads_for_slot(cell_index,
                                                  self._slot_index):
                     jobs.append((load, cell, now, deadline,
-                                 cell_base + cell_index))
+                                 gids[cell_index]))
             # One vectorized cost/feature pass over the whole slot's
             # DAGs (builder batches the numpy work; RNG streams stay
             # per-DAG).
             dags = self.builder.build_many(jobs)
         if self.demand_observer is not None:
             self.demand_observer(dags)
+        if self._held_cells or self._backlog:
+            dags = self._apply_migration_holds(dags)
+        if self._warm_cells:
+            self._apply_predictor_warmup(dags)
         self._slot_index += 1
         self._slots_remaining -= 1
         pool = self.pool
@@ -615,12 +658,315 @@ class Simulation:
             pool._quiet_until = self.engine.now + self._slot_us
         pool.release_slot(dags)
 
-    def run(self, num_slots: int) -> SimulationResult:
-        """Simulate ``num_slots`` TTIs plus a drain period."""
+    # -- reconfiguration (elastic runtime) ---------------------------------------
+
+    def _apply_due_reconfig(self) -> None:
+        """Apply every timeline event due at the current slot boundary."""
+        queue = self._reconfig_queue
+        while queue and queue[0].at_slot <= self._slot_index:
+            event = queue.pop(0)
+            action = event.action
+            if action == "add_worker":
+                for _ in range(event.count):
+                    self.pool.add_worker()
+            elif action == "remove_worker":
+                for _ in range(event.count):
+                    self.pool.remove_worker()
+            elif action == "detach_cell":
+                self.detached_cells[event.cell] = self.detach_cell(event.cell)
+            elif action == "attach_cell":
+                try:
+                    snapshot = self.detached_cells.pop(event.cell)
+                except KeyError:
+                    raise ValueError(
+                        f"attach_cell {event.cell!r}: no detached "
+                        f"snapshot of that name") from None
+                self.attach_cell(
+                    snapshot,
+                    transfer_slots=event.transfer_slots,
+                    warmup_slots=event.warmup_slots,
+                    warmup_factor=event.warmup_factor,
+                )
+            else:  # pragma: no cover - migrate rejected in start()
+                raise ValueError(f"unexpected timeline action {action!r}")
+
+    def _apply_migration_holds(self, dags: list) -> list:
+        """State-transfer delay: buffer held cells' DAGs, release late.
+
+        A freshly attached cell's DAGs are built and demand-observed on
+        schedule (so per-cell sampling digests are unchanged by the
+        migration) but withheld from the pool for ``transfer_slots``
+        boundaries, then released with their *original* deadlines — the
+        bounded deadline-miss transient of the migration-cost model.
+        """
+        slot = self._slot_index
+        held = self._held_cells
+        for name in [n for n, until in held.items() if until <= slot]:
+            del held[name]
+        if self._backlog:
+            still = []
+            released = []
+            for name, dag in self._backlog:
+                if name in held:
+                    still.append((name, dag))
+                else:
+                    released.append(dag)
+            self._backlog = still
+            if released:
+                dags = released + dags
+        if held:
+            keep = []
+            backlog = self._backlog
+            for dag in dags:
+                if dag.cell_name in held:
+                    backlog.append((dag.cell_name, dag))
+                else:
+                    keep.append(dag)
+            dags = keep
+        return dags
+
+    def _apply_predictor_warmup(self, dags: list) -> None:
+        """Predictor warm-up: inflate a migrated cell's WCET predictions.
+
+        For ``warmup_slots`` after the transfer the destination's
+        predictor has no history for the cell, modelled as conservative
+        over-estimation: the scheduling policy multiplies its per-task
+        WCET predictions by ``dag.wcet_inflation``.  Sampling streams
+        and ground-truth runtimes are untouched, so demand digests are
+        unaffected.
+        """
+        slot = self._slot_index
+        warm = self._warm_cells
+        for name in [n for n, (until, _) in warm.items() if until <= slot]:
+            del warm[name]
+        if not warm:
+            return
+        for dag in dags:
+            entry = warm.get(dag.cell_name)
+            if entry is not None:
+                dag.wcet_inflation = entry[1]
+
+    def detach_cell(self, name: str) -> dict:
+        """Quiesce cell ``name`` at a slot boundary; return its snapshot.
+
+        The snapshot is plain data (JSON-able apart from the numpy
+        BitGenerator state dicts) carrying everything another
+        :class:`Simulation` needs to resume the cell mid-run with
+        byte-identical sampling: the cell config, global cell id, the
+        exact traffic/allocation/HARQ generator states and the pending
+        HARQ retransmissions.  Must be called at a slot boundary the
+        window kernel was told about (a timeline event's slot, or
+        :meth:`add_window_barrier` before the run) so no draws for the
+        cell have been made beyond the current slot.
+        """
+        if self.profiling_traffic:
+            raise ValueError(
+                "detach_cell requires model traffic (profiling mode "
+                "draws from one shared stream)")
+        if self.allocation_mode == "mac":
+            raise ValueError(
+                "detach_cell requires i.i.d. allocation (MAC pipelines "
+                "hold non-portable buffer state)")
+        if self._win_dags:
+            raise ValueError(
+                "detach_cell mid-window: the detach slot must be a "
+                "window barrier (timeline events register theirs; "
+                "planners call add_window_barrier before the run)")
+        for index, cell in enumerate(self._cell_list):
+            if cell.name == name:
+                break
+        else:
+            raise ValueError(f"no attached cell named {name!r}")
+        # Lazy: repro.scenario imports this module for build_simulation.
+        from ..scenario.scenario import cell_config_to_dict
+
+        del self._cell_list[index]
+        gid = self._cell_gids.pop(index)
+        traffic = self.traffic.pop(index)
+        alloc_state = None
+        if self._rng_alloc_cells is not None:
+            alloc_state = self._rng_alloc_cells.pop(index).bit_generator.state
+        harq = self._harq.pop(index, None)
+        # Re-index the HARQ dict: entries above the removed cell shift
+        # down with their cells.
+        self._harq = {(i if i < index else i - 1): manager
+                      for i, manager in self._harq.items()}
+        self._held_cells.pop(name, None)
+        self._warm_cells.pop(name, None)
+        if self._backlog:
+            self._backlog = [(n, d) for n, d in self._backlog if n != name]
+        snapshot = {
+            "schema": 1,
+            "cell": cell_config_to_dict(cell),
+            "global_id": gid,
+            "seed": self.scenario.seed,
+            "load_fraction": self.load_fraction,
+            "slot_index": self._slot_index,
+            "harq_enabled": harq is not None,
+            "traffic": {
+                "uplink": {
+                    "rng_state": traffic.uplink.rng.bit_generator.state,
+                    "active": bool(traffic.uplink._active),
+                },
+                "downlink": {
+                    "rng_state": traffic.downlink.rng.bit_generator.state,
+                    "active": bool(traffic.downlink._active),
+                },
+            },
+        }
+        if alloc_state is not None:
+            snapshot["alloc_rng_state"] = alloc_state
+        if harq is not None:
+            snapshot["harq"] = {
+                "rng_state": harq.rng.bit_generator.state,
+                "config": {
+                    "rtt_slots": harq.config.rtt_slots,
+                    "max_attempts": harq.config.max_attempts,
+                    "combining_gain_db": harq.config.combining_gain_db,
+                },
+                "pending": [
+                    {
+                        "due_slot": p.due_slot,
+                        "attempt": p.attempt,
+                        "ue_id": p.allocation.ue_id,
+                        "tbs_bytes": p.allocation.tbs_bytes,
+                        "mcs_index": p.allocation.mcs.index,
+                        "layers": p.allocation.layers,
+                        "snr_db": p.allocation.snr_db,
+                    }
+                    for p in harq._pending
+                ],
+                "transport_blocks": harq.transport_blocks,
+                "retransmissions": harq.retransmissions,
+                "failures": harq.failures,
+                "residual_losses": harq.residual_losses,
+            }
+        return snapshot
+
+    def attach_cell(self, snapshot: dict, *, transfer_slots: int = 0,
+                    warmup_slots: int = 0,
+                    warmup_factor: float = 1.5) -> None:
+        """Resume a detached cell from its snapshot, in this simulation.
+
+        The cell's generators are rebuilt from the (seed, global id)
+        stream map and then overwritten with the snapshot's exact
+        states, so its sampling continues byte-identically no matter
+        which simulation it lands in — the portability invariant behind
+        fleet migration.  ``transfer_slots``/``warmup_slots`` apply the
+        migration-cost model (state-transfer hold, then predictor
+        warm-up by ``warmup_factor``); zero (the default) attaches with
+        no transient.
+        """
+        if snapshot.get("schema") != 1:
+            raise ValueError(
+                f"unsupported cell snapshot schema "
+                f"{snapshot.get('schema')!r}")
+        if snapshot["seed"] != self.scenario.seed:
+            raise ValueError(
+                f"cell snapshot seed {snapshot['seed']} != scenario "
+                f"seed {self.scenario.seed}; portable state requires "
+                f"the same stream map")
+        if snapshot["slot_index"] > self._slot_index:
+            raise ValueError(
+                f"cell snapshot from slot {snapshot['slot_index']} is "
+                f"ahead of this simulation (slot {self._slot_index})")
+        if self._win_dags:
+            raise ValueError(
+                "attach_cell mid-window: the attach slot must be a "
+                "window barrier (timeline events register theirs; "
+                "planners call add_window_barrier before the run)")
+        # Lazy: repro.scenario imports this module for build_simulation.
+        from ..scenario.scenario import cell_config_from_dict
+
+        cell = cell_config_from_dict(snapshot["cell"])
+        if any(c.name == cell.name for c in self._cell_list):
+            raise ValueError(f"cell {cell.name!r} is already attached")
+        gid = snapshot["global_id"]
+        seed = snapshot["seed"]
+        traffic = CellTraffic.for_cell(
+            cell, snapshot["load_fraction"], rng=_stream_rng(seed, 7, gid))
+        for direction, source in (("uplink", traffic.uplink),
+                                  ("downlink", traffic.downlink)):
+            state = snapshot["traffic"][direction]
+            source.rng.bit_generator.state = state["rng_state"]
+            source._active = state["active"]
+        if self._rng_alloc_cells is not None:
+            if "alloc_rng_state" not in snapshot:
+                raise ValueError(
+                    "cell snapshot lacks a per-cell allocation stream; "
+                    "it was detached from a non-fleet simulation")
+            alloc_rng = _stream_rng(seed, 2, gid)
+            alloc_rng.bit_generator.state = snapshot["alloc_rng_state"]
+            self._rng_alloc_cells.append(alloc_rng)
+        index = len(self._cell_list)
+        self._cell_list.append(cell)
+        self._cell_gids.append(gid)
+        self.traffic.append(traffic)
+        if snapshot["harq_enabled"]:
+            payload = snapshot["harq"]
+            manager = HarqManager(
+                config=HarqConfig(**payload["config"]),
+                rng=_stream_rng(seed, 8, gid))
+            manager.rng.bit_generator.state = payload["rng_state"]
+            manager._pending = [
+                _PendingRetransmission(
+                    due_slot=p["due_slot"],
+                    allocation=UeAllocation(
+                        ue_id=p["ue_id"],
+                        tbs_bytes=p["tbs_bytes"],
+                        mcs=MCS_TABLE[p["mcs_index"]],
+                        layers=p["layers"],
+                        snr_db=p["snr_db"],
+                    ),
+                    attempt=p["attempt"],
+                )
+                for p in payload["pending"]
+            ]
+            manager.transport_blocks = payload["transport_blocks"]
+            manager.retransmissions = payload["retransmissions"]
+            manager.failures = payload["failures"]
+            manager.residual_losses = payload["residual_losses"]
+            self._harq[index] = manager
+        if transfer_slots > 0:
+            self._held_cells[cell.name] = self._slot_index + transfer_slots
+        if warmup_slots > 0:
+            self._warm_cells[cell.name] = (
+                self._slot_index + transfer_slots + warmup_slots,
+                float(warmup_factor),
+            )
+
+    # -- the run loop ------------------------------------------------------------
+
+    def start(self, num_slots: int) -> None:
+        """Begin a segmented run of ``num_slots`` TTIs.
+
+        ``start`` / :meth:`run_to_barrier` / :meth:`run_to_end` /
+        :meth:`finish` decompose :meth:`run` so an external driver (the
+        fleet planner's lockstep migration) can pause every simulation
+        at the same slot boundary, move cells between them, and resume
+        — with the composition byte-identical to one ``run`` call.
+        """
         if num_slots <= 0:
             raise ValueError("num_slots must be positive")
-        slot_us = self.pool_config.slot_duration_us
+        if self._started:
+            raise ValueError("simulation already started")
+        self._started = True
+        timeline = sorted(self.scenario.reconfig, key=lambda e: e.at_slot)
+        for event in timeline:
+            if event.action == "migrate":
+                raise ValueError(
+                    "migrate is a fleet-planner verb; a single "
+                    "simulation's timeline uses detach_cell/attach_cell")
+            if not 0 <= event.at_slot < num_slots:
+                raise ValueError(
+                    f"reconfig at_slot {event.at_slot} outside "
+                    f"[0, {num_slots})")
+            if event.action in ("detach_cell", "attach_cell"):
+                self._window_barriers.add(event.at_slot)
+        self._reconfig_queue = timeline
         start = self.engine.now
+        self._run_start = start
+        self._num_slots = num_slots
         self._slots_remaining = num_slots
         self._use_window = (
             self.slot_window > 0
@@ -628,17 +974,60 @@ class Simulation:
             and self.allocation_mode != "mac"
         )
         self._slot_event = self.engine.schedule_every(
-            slot_us, self._on_slot_boundary, start=start)
-        end = start + num_slots * slot_us
-        self.engine.run_until(end)
+            self._slot_us, self._on_slot_boundary, start=start)
+        self._end_time = start + num_slots * self._slot_us
+
+    def add_window_barrier(self, slot: int) -> None:
+        """Forbid the window kernel from pre-drawing across ``slot``.
+
+        External drivers (the fleet planner) must register every slot
+        they will pause at *before* running, so cell membership can
+        change there without any generator having drawn past it.
+        Narrowing window widths never changes draw *order*, so digests
+        are unaffected.
+        """
+        self._window_barriers.add(int(slot))
+
+    def run_to_barrier(self, slot: int) -> None:
+        """Run until slots ``0..slot-1`` are built, poised at ``slot``.
+
+        The target time replays the engine's recurring-timer float
+        accumulation (``t += slot_us``) so it is bit-equal to the
+        boundary's firing time regardless of the slot duration's binary
+        representation.
+        """
+        if not self._started:
+            raise ValueError("start() the simulation first")
+        if not 1 <= slot <= self._num_slots:
+            raise ValueError(
+                f"barrier slot {slot} outside [1, {self._num_slots}]")
+        target = self._run_start
+        for _ in range(slot - 1):
+            target += self._slot_us
+        self.engine.run_until(target)
+
+    def run_to_end(self) -> None:
+        """Run the remaining slots of a started simulation."""
+        if not self._started:
+            raise ValueError("start() the simulation first")
+        self.engine.run_until(self._end_time)
+
+    def finish(self) -> SimulationResult:
+        """Drain in-flight DAGs, finalize metrics, build the result."""
         # Drain: let in-flight DAGs finish (bounded by 4 deadlines).
-        drain_limit = end + 4 * self.pool_config.deadline_us
+        drain_limit = self._end_time + 4 * self.pool_config.deadline_us
         while self.pool.active_dags and self.engine.now < drain_limit:
             if not self.engine.step():
                 break
         self.metrics.finalize(self.engine.now)
         self.host.finalize(self.engine.now)
-        return self._build_result(num_slots)
+        return self._build_result(self._num_slots)
+
+    def run(self, num_slots: int) -> SimulationResult:
+        """Simulate ``num_slots`` TTIs plus a drain period."""
+        self.start(num_slots)
+        self.run_to_end()
+        return self.finish()
 
     def _build_result(self, num_slots: int) -> SimulationResult:
         duration_us = self.metrics.duration_us

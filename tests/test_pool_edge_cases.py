@@ -113,6 +113,85 @@ class TestDrainAndCounters:
         assert pool.metrics.slot_count == 1
 
 
+class TestRequestCoresEdgeCases:
+    def _scan_counters(self, pool):
+        reserved = sum(1 for w in pool.workers
+                       if w.state is not WorkerState.YIELDED)
+        running = sum(1 for w in pool.workers
+                      if w.state is WorkerState.RUNNING)
+        return reserved, running
+
+    def test_shrink_below_running_count_never_preempts(self):
+        engine, pool = make_pool(num_cores=4)
+        dag = make_dag(total_bytes=40_000)  # wide parallel decode
+        pool.release_slot([dag])
+        while pool.running_count < 2 and engine.step():
+            pass
+        running = pool.running_count
+        assert running >= 2
+        pool.request_cores(0)
+        # Running workers are never preempted mid-task: the target
+        # undershoots but the reserve only sheds *idle* cores now.
+        assert pool.running_count == running
+        assert pool.reserved_count >= running
+        for task in dag.tasks:
+            if task.start_time is not None and task.finish_time is None:
+                assert True  # still in flight, not cancelled
+        engine.run_until(100_000.0)
+        assert dag.finished
+        # As tasks drained, the ratchet released the excess cores.
+        assert pool.reserved_count == 0
+
+    def test_repeated_grow_shrink_cycles_keep_invariants(self):
+        engine, pool = make_pool(num_cores=4)
+        for cycle in range(6):
+            release = cycle * 600.0
+            engine.run_until(release)
+            pool.release_slot([make_dag(total_bytes=4000, release=release,
+                                        deadline=release + 4000.0,
+                                        seed=cycle)])
+            for target in (0, 4, 1, 3):
+                pool.request_cores(target)
+                scan_reserved, scan_running = self._scan_counters(pool)
+                assert pool.reserved_count == scan_reserved
+                assert pool.running_count == scan_running
+                assert pool.reserved_count >= pool.running_count
+                assert 0 <= pool.reserved_count <= pool.num_cores
+        engine.run_until(100_000.0)
+        assert pool.running_count == 0
+        scan_reserved, _ = self._scan_counters(pool)
+        assert pool.reserved_count == scan_reserved
+
+    def test_target_change_mid_tick_applies_at_task_end(self):
+        engine, pool = make_pool(num_cores=2)
+        dag = make_dag(total_bytes=3000)
+        pool.release_slot([dag])
+        while pool.running_count < 1 and engine.step():
+            pass
+        # Mid-task shrink: the target lands while work is in flight.
+        pool.request_cores(1)
+        assert pool.target_cores == 1
+        # Mid-tick grow back before anything finished: no worker was
+        # woken or released twice, counters still match a fresh scan.
+        pool.request_cores(2)
+        scan_reserved, scan_running = self._scan_counters(pool)
+        assert pool.reserved_count == scan_reserved
+        assert pool.running_count == scan_running
+        engine.run_until(50_000.0)
+        assert dag.finished
+        assert pool.reserved_count == 2  # final target honoured
+
+    def test_target_clamped_to_capacity(self):
+        engine, pool = make_pool(num_cores=2)
+        pool.request_cores(99)
+        assert pool.target_cores == 2
+        pool.request_cores(-5)
+        assert pool.target_cores == 0
+        pool.add_worker()
+        pool.request_cores(99)
+        assert pool.target_cores == 3  # elastic growth raises the clamp
+
+
 class TestObserverOrdering:
     def test_observer_sees_dag_completion_state(self):
         engine, pool = make_pool()
