@@ -59,6 +59,12 @@ IDLE_KERNEL_SLOTS = 240
 #: idle fast path stopped engaging, not statistical noise.
 IDLE_KERNEL_MIN_SHARE = 0.5
 
+#: Minimum certified-slot coverage the array-timeline kernel must
+#: reach on the same fig03-calibrated workload.  Deterministic for the
+#: same reason: below this floor the replay certification stopped
+#: engaging (a regression in the kernel or its certification gates).
+ARRAY_KERNEL_MIN_SHARE = 0.5
+
 
 def calibrate_reference() -> float:
     """Cheap single-core reference score (higher = faster machine).
@@ -74,7 +80,8 @@ def calibrate_reference() -> float:
     return round(1.0 / wall, 3)
 
 
-def timed_run(slots: int, seed: int) -> tuple[float, object]:
+def timed_run(slots: int, seed: int,
+              engine: str = "event") -> tuple[float, object]:
     """One Fig. 11-style simulation; returns (wall_s, result)."""
     from repro.scenario import Scenario, build_simulation
 
@@ -84,6 +91,7 @@ def timed_run(slots: int, seed: int) -> tuple[float, object]:
         workload="redis",
         load_fraction=0.5,
         seed=seed,
+        engine_mode=engine,
     )
     simulation = build_simulation(scenario)
     start = time.perf_counter()
@@ -91,8 +99,8 @@ def timed_run(slots: int, seed: int) -> tuple[float, object]:
     return time.perf_counter() - start, result
 
 
-def idle_kernel_run(slots: int = IDLE_KERNEL_SLOTS,
-                    seed: int = 7) -> dict:
+def idle_kernel_run(slots: int = IDLE_KERNEL_SLOTS, seed: int = 7,
+                    engine: str = "event") -> dict:
     """Fig. 3-calibrated idle-kernel measurement.
 
     One 20 MHz cell at 2 % load: per §2.2 a single cell is idle ~75 %
@@ -100,7 +108,9 @@ def idle_kernel_run(slots: int = IDLE_KERNEL_SLOTS,
     direction and the window kernel's idle fast path should cover the
     majority of the run.  Returns the kernel coverage counters plus
     throughput (the idle fast path is what makes low-load fleets
-    cheap to simulate).
+    cheap to simulate).  With ``engine="array"`` the same workload runs
+    through the array-timeline kernel, which should certify and replay
+    nearly every slot here.
     """
     from repro.ran.config import PoolConfig, cell_20mhz_fdd
     from repro.scenario import Scenario, build_simulation
@@ -113,13 +123,14 @@ def idle_kernel_run(slots: int = IDLE_KERNEL_SLOTS,
         workload="none",
         load_fraction=0.02,
         seed=seed,
+        engine_mode=engine,
     )
     simulation = build_simulation(scenario)
     start = time.perf_counter()
     simulation.run(slots)
     wall = time.perf_counter() - start
     stats = simulation.kernel_stats
-    return {
+    report = {
         "slots": stats["slots"],
         "wall_s": round(wall, 3),
         "slots_per_s": round(slots / wall, 1),
@@ -128,6 +139,11 @@ def idle_kernel_run(slots: int = IDLE_KERNEL_SLOTS,
         "idle_share": round(stats["idle_slots"] / max(1, stats["slots"]),
                             3),
     }
+    if engine == "array":
+        report["array_slots"] = stats["array_slots"]
+        report["array_share"] = round(
+            stats["array_slots"] / max(1, stats["slots"]), 3)
+    return report
 
 
 # -- engine micro-benchmark ---------------------------------------------------
@@ -199,7 +215,8 @@ def engine_microbench(heap_depth: int = 1000,
 # -- profiling ----------------------------------------------------------------
 
 
-def profile_hotpath(slots: int, seed: int, top: int = 30) -> int:
+def profile_hotpath(slots: int, seed: int, top: int = 30,
+                    engine: str = "event") -> int:
     """Profile one run; print cProfile top-N cumulative + fast-path share."""
     import cProfile
     import io
@@ -213,6 +230,7 @@ def profile_hotpath(slots: int, seed: int, top: int = 30) -> int:
         workload="redis",
         load_fraction=0.5,
         seed=seed,
+        engine_mode=engine,
     )
     simulation = build_simulation(scenario)
     profiler = cProfile.Profile()
@@ -246,6 +264,10 @@ def profile_hotpath(slots: int, seed: int, top: int = 30) -> int:
           f"{kernel['idle_slots']} idle-batched; "
           f"ticks batched {simulation.pool.ticks_batched} in "
           f"{simulation.pool.tick_batches} gaps")
+    array_slots = kernel.get("array_slots", 0)
+    print(f"array kernel ({engine} engine): certified and replayed "
+          f"{array_slots}/{kernel['slots']} slots "
+          f"({100.0 * array_slots / max(1, kernel['slots']):.1f}%)")
     return 0
 
 
@@ -264,6 +286,10 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                         help="max fractional slowdown vs the baseline")
     parser.add_argument("--write-baseline", default=None,
                         help="record the current tree as baseline JSON")
+    parser.add_argument("--engine", choices=("event", "array"),
+                        default="event",
+                        help="engine for the fig11-style headline run "
+                             "(the fig03 A/B row always times both)")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile one run (top-30 cumulative) "
                              "instead of timing")
@@ -273,26 +299,42 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
 
 def run_bench(args) -> int:
     if args.profile:
-        return profile_hotpath(args.slots, args.seed)
+        return profile_hotpath(args.slots, args.seed, engine=args.engine)
 
     walls = []
     result = None
     for _ in range(args.rounds):
-        wall, result = timed_run(args.slots, args.seed)
+        wall, result = timed_run(args.slots, args.seed, engine=args.engine)
         walls.append(wall)
     best = min(walls)
     slots_per_s = args.slots / best
+    # Seed pinned (not args.seed) in the fig03 rows: the --check
+    # coverage guards depend on those runs being bit-reproducible.
+    # Both engines are timed back to back (best-of-rounds each) so the
+    # A/B ratio is immune to machine-load drift between reports.
+    idle_event = idle_kernel_run()
+    idle_array = idle_kernel_run(engine="array")
+    for _ in range(args.rounds - 1):
+        again = idle_kernel_run()
+        if again["wall_s"] < idle_event["wall_s"]:
+            idle_event = again
+        again = idle_kernel_run(engine="array")
+        if again["wall_s"] < idle_array["wall_s"]:
+            idle_array = again
+    idle_array["speedup_vs_event"] = round(
+        idle_event["wall_s"] / idle_array["wall_s"], 3) \
+        if idle_array["wall_s"] > 0 else 0.0
     report = {
         "slots": args.slots,
         "seed": args.seed,
         "rounds": args.rounds,
+        "engine": args.engine,
         "wall_s_best": round(best, 3),
         "wall_s_all": [round(w, 3) for w in walls],
         "slots_per_s": round(slots_per_s, 1),
         "p99999_us": round(result.latency.p99999_us, 1),
-        # Seed pinned (not args.seed): the --check coverage guard
-        # depends on this run being bit-reproducible.
-        "idle_kernel": idle_kernel_run(),
+        "idle_kernel": idle_event,
+        "idle_kernel_array": idle_array,
         "engine_microbench": engine_microbench(),
         "machine_reference": calibrate_reference(),
         "python": platform.python_version(),
@@ -301,12 +343,17 @@ def run_bench(args) -> int:
     if not args.json:
         micro = report["engine_microbench"]
         idle = report["idle_kernel"]
-        print(f"fig11-style hot path: {args.slots} slots in "
+        print(f"fig11-style hot path ({args.engine} engine): "
+              f"{args.slots} slots in "
               f"{best:.2f}s best-of-{args.rounds} "
               f"({slots_per_s:,.0f} slots/s)")
         print(f"fig03-style idle kernel: {idle['slots']} slots at 2% "
               f"load ({idle['slots_per_s']:,.0f} slots/s), idle fast "
               f"path covered {idle['idle_share']:.0%}")
+        print(f"fig03 array vs event: {idle_array['slots_per_s']:,.0f} "
+              f"vs {idle['slots_per_s']:,.0f} slots/s "
+              f"({idle_array['speedup_vs_event']:.2f}x), certified "
+              f"slots {idle_array['array_share']:.0%}")
         print(f"engine microbench (heap depth {micro['heap_depth']}): "
               f"schedule_after {micro['schedule_after_events_per_s']:,.0f} "
               f"ev/s, reusable timer {micro['timer_events_per_s']:,.0f} "
@@ -347,6 +394,28 @@ def run_bench(args) -> int:
                   f"fig03-calibrated workload "
                   f"(< {IDLE_KERNEL_MIN_SHARE:.0%})", file=sys.stderr)
             status = 1
+        # Same logic for the array-timeline kernel: its certified-slot
+        # share on the fixed-seed fig03 workload is deterministic, and
+        # its throughput is guarded against the baseline's array row
+        # (present in baselines written since the kernel landed).
+        if report["idle_kernel_array"]["array_share"] < \
+                ARRAY_KERNEL_MIN_SHARE:
+            print("FAIL: array-timeline kernel certified "
+                  f"{report['idle_kernel_array']['array_share']:.0%} of "
+                  f"the fig03-calibrated workload "
+                  f"(< {ARRAY_KERNEL_MIN_SHARE:.0%})", file=sys.stderr)
+            status = 1
+        baseline_array = baseline.get("idle_kernel_array")
+        if baseline_array:
+            array_floor = baseline_array["slots_per_s"] * \
+                (1.0 - args.tolerance)
+            if report["idle_kernel_array"]["slots_per_s"] < array_floor:
+                print("FAIL: array-engine fig03 throughput "
+                      f"{report['idle_kernel_array']['slots_per_s']:,.0f} "
+                      f"slots/s below floor {array_floor:,.0f} "
+                      f"(baseline {baseline_array['slots_per_s']:,.0f}, "
+                      f"tolerance {args.tolerance:.0%})", file=sys.stderr)
+                status = 1
         if status == 0 and not args.json:
             print("OK")
 

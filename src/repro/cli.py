@@ -134,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(parallel mode only)")
     sweep_cmd.add_argument("--retries", type=int, default=1,
                            help="retry budget per crashed job")
+    sweep_cmd.add_argument("--engine", choices=("event", "array"),
+                           default="event",
+                           help="slot engine: classic event heap or "
+                                "the certified array-timeline kernel")
     sweep_cmd.add_argument("--json", action="store_true",
                            help="emit machine-readable JSON")
 
@@ -202,6 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_cmd.add_argument("--seed", type=int, default=0)
     fleet_cmd.add_argument("--cores-per-cell", type=float, default=None,
                            help="override the kind's provisioning ratio")
+    fleet_cmd.add_argument("--engine", choices=("event", "array"),
+                           default="event",
+                           help="slot engine for every shard simulation")
     fleet_cmd.add_argument("--reconfig", metavar="SCRIPT",
                            help="JSON reconfig timeline (worker "
                                 "add/remove, cell detach/attach, "
@@ -317,7 +324,8 @@ def _cmd_sweep(args) -> int:
                 specs.append(make_spec(config, args.policy,
                                        workload=args.workload,
                                        load_fraction=load,
-                                       num_slots=slots, seed=seed))
+                                       num_slots=slots, seed=seed,
+                                       engine_mode=args.engine))
                 meta.append({"config": name, "load": load, "seed": seed,
                              "slots": slots})
 
@@ -494,6 +502,7 @@ def _cmd_fleet(args) -> int:
         seed=args.seed,
         num_slots=args.slots,
         reconfig=reconfig,
+        engine_mode=args.engine,
     )
 
     def progress(event) -> None:

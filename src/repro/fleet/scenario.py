@@ -125,6 +125,11 @@ class FleetScenario:
     #: the target shard's own :class:`~repro.scenario.Scenario`
     #: timeline.  ``cell`` may be a global cell index or a cell name.
     reconfig: tuple = ()
+    #: Per-shard simulation engine ("event" or "array"); passed through
+    #: verbatim to every derived shard scenario.  Array mode certifies
+    #: per slot and falls back to the event path wherever it cannot, so
+    #: fleet digests are unchanged either way.
+    engine_mode: str = "event"
 
     def __post_init__(self) -> None:
         if self.cells < 1:
@@ -144,6 +149,10 @@ class FleetScenario:
             raise ValueError("num_slots must be positive")
         if self.cores_per_cell is not None and self.cores_per_cell <= 0:
             raise ValueError("cores_per_cell must be positive")
+        if self.engine_mode not in ("event", "array"):
+            raise ValueError(
+                f"engine_mode must be 'event' or 'array', "
+                f"got {self.engine_mode!r}")
         self.reconfig = reconfig_from_payload(self.reconfig)
         for event in self.reconfig:
             self._validate_event(event)
@@ -256,6 +265,7 @@ class FleetScenario:
                 harq=self.harq,
                 cell_id_base=base,
                 reconfig=routed,
+                engine_mode=self.engine_mode,
             )
             shards.append(ShardSpec(
                 shard_index=shard_index,
@@ -276,6 +286,10 @@ class FleetScenario:
 
     def to_dict(self) -> dict:
         payload = asdict(self)
+        if payload["engine_mode"] == "event":
+            # Event-mode fleets serialize exactly as they did before
+            # the array engine existed (same invariant as reconfig).
+            del payload["engine_mode"]
         if self.reconfig:
             payload["reconfig"] = [e.to_dict() for e in self.reconfig]
             payload["schema"] = FLEET_RECONFIG_SCHEMA

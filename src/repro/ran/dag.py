@@ -35,7 +35,8 @@ from .tasks import (
 )
 from .ue import SlotLoad, UeAllocation
 
-__all__ = ["DagInstance", "DagBuilder", "MAX_CBS_PER_TASK"]
+__all__ = ["DagInstance", "DagBuilder", "MAX_CBS_PER_TASK",
+           "batch_predicted_paths"]
 
 #: Maximum codeblocks bundled into one encode/decode task instance.
 MAX_CBS_PER_TASK = 4
@@ -131,6 +132,79 @@ class DagInstance:
 def _link(parent: TaskInstance, child: TaskInstance) -> None:
     parent.successors.append(child)
     child.predecessors_remaining += 1
+
+
+#: Below this many tasks per slot the scalar prediction path beats the
+#: vectorized one (array allocation + tolist() overhead dominates).
+_BATCH_PATH_CUTOFF = 24
+
+
+def batch_predicted_paths(dags: list, margin: float) -> list:
+    """Vectorized WCET prediction + critical-path fill for a slot batch.
+
+    Bit-identical replacement for the scalar per-task loop in
+    ``ConcordiaScheduler.on_slot_start`` when no predictor is attached:
+    every task's ``predicted_wcet_us`` is ``base_cost_us * margin``
+    (times the DAG's ``wcet_inflation`` as a *second* multiply when it
+    is not 1.0 — same two-step rounding as the scalar code), and
+    ``path_us`` is filled by the same reverse topological sweep.  The
+    per-task multiplies collapse into one numpy pass over the whole
+    batch; the float left-fold of ``work_us`` and the running max of
+    the critical path keep the scalar path's exact operation order.
+
+    Returns one ``(work_us, critical_us, frontier)`` triple per DAG,
+    where ``frontier`` maps entry-task ids to their ``path_us``.
+    """
+    flat = [task for dag in dags for task in dag.tasks]
+    if len(flat) < _BATCH_PATH_CUTOFF:
+        # Mostly-idle slots carry a handful of tasks; numpy's array
+        # fill + tolist() round trip costs more than it saves there.
+        # Scalar IEEE multiplies in the same two-step order are
+        # bit-identical to the vectorized pass.
+        predicted = []
+        for dag in dags:
+            inflation = dag.wcet_inflation
+            if inflation != 1.0:
+                predicted.extend(task.base_cost_us * margin * inflation
+                                 for task in dag.tasks)
+            else:
+                predicted.extend(task.base_cost_us * margin
+                                 for task in dag.tasks)
+    else:
+        base = np.empty(len(flat))
+        for i, task in enumerate(flat):
+            base[i] = task.base_cost_us
+        predicted_arr = base * margin
+        offset = 0
+        for dag in dags:
+            n = len(dag.tasks)
+            if dag.wcet_inflation != 1.0:
+                predicted_arr[offset:offset + n] *= dag.wcet_inflation
+            offset += n
+        predicted = predicted_arr.tolist()
+    results = []
+    offset = 0
+    for dag in dags:
+        tasks = dag.tasks
+        work = 0.0
+        for task, value in zip(tasks, predicted[offset:offset + len(tasks)]):
+            task.predicted_wcet_us = value
+            work += value
+        offset += len(tasks)
+        critical = 0.0
+        frontier = {}
+        for task in reversed(tasks):
+            tail = 0.0
+            for successor in task.successors:
+                if successor.path_us > tail:
+                    tail = successor.path_us
+            task.path_us = task.predicted_wcet_us + tail
+            if task.predecessors_remaining == 0:
+                frontier[task.task_id] = task.path_us
+                if task.path_us > critical:
+                    critical = task.path_us
+        results.append((work, critical, frontier))
+    return results
 
 
 class DagBuilder:

@@ -1,0 +1,366 @@
+"""Array-timeline engine: certified synchronous slot replay.
+
+The event engine spends most of a light slot on heap traffic: every
+task completion, wakeup and 20 µs scheduler tick is a push/pop on the
+global event heap even though, for the overwhelming majority of slots,
+nothing outside the pool can observe the slot's interior.  This kernel
+replays such a slot *inside the slot-boundary callback*: worker timers
+are swapped for local virtual timers, the recurring scheduler tick is
+emulated arithmetically, and the real pool/policy/metrics/OS-model
+methods are invoked in exactly the (time, seq) order the event heap
+would have produced.  Because the replay calls the same code in the
+same order at the same simulated times, results are byte-identical to
+the event engine by construction — the heap is bypassed, never the
+model.
+
+Certification contract (all must hold, checked per slot at the
+boundary; any failure falls back to ``pool.release_slot`` for that
+slot only):
+
+* the policy certifies (:meth:`SchedulerPolicy.array_certify`) — the
+  Concordia scheduler does so iff no DAG state is in flight; policies
+  with wakeup pinning never certify;
+* the pool is quiescent: no active DAGs, ready tasks, pinned tasks or
+  in-flight wakeups (which also rules out retiring workers);
+* no side channels: no accelerator, task observer, per-task recording
+  or enabled event bus — their hooks observe interior event order;
+* the workload host is passive (zero cache pressure; the runner
+  additionally gates on ``workload == "none"`` so no host-scheduled
+  engine events can interleave with the replayed interior);
+* the engine's ``run_until`` horizon covers the whole slot — a replay
+  must never run events past a horizon the engine is not enforcing;
+* the worst-case makespan fits in the slot: one maximal wakeup latency
+  plus the sum over released tasks of the pressure-0 runtime ceiling
+  ``max(0.3, base_cost · stoch_mult · 1.25)`` must not reach the next
+  boundary.  EDF dispatch is work-conserving, so after the (at most
+  one) initial wakeup window some core is busy until the last finish;
+  the serialized sum therefore bounds the makespan for any worker
+  count.
+
+Interior ordering invariants the replay reproduces:
+
+* virtual timer arms consume a local sequence counter exactly where
+  ``Timer.arm`` would consume an engine sequence number, so equal-time
+  firings tie-break identically;
+* the tick stream's position/sequence is tracked so a tick landing on
+  a timer's firing time fires on the correct side of it;
+* runs of ticks with no micro-event in between are compressed through
+  :meth:`SchedulerPolicy.certify_tick_run` when the policy can prove
+  them identical, and fired one-by-one otherwise;
+* after the last completion the pool's quiescent-gap tick batching is
+  emulated with the exact ``_tick`` loop (same bound/horizon/peek
+  clamps, same ``on_ticks_skipped`` replay);
+* a tick falling exactly on the next boundary is deferred (the event
+  engine fires it *after* the boundary callback): the kernel parks the
+  recurring entry one period later and replays the boundary tick
+  first thing next slot — or, on fallback, fires ``policy.on_tick``
+  right after ``release_slot`` and refreshes the entry's sequence to
+  match the event engine's re-key order.
+
+Core rotation entries stay in the real heap and fire after the replay
+returns; rotation only permutes the worker preference order, and no
+digest-relevant observable depends on worker identity (runtimes depend
+on the running *count*, wakeup latencies come from a shared stream in
+arrival order), so replay and event mode stay byte-identical across
+rotations that land inside a replayed slot.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import partial
+from heapq import heappop, heappush
+
+__all__ = ["ArraySlotKernel"]
+
+#: Safety margin (µs) on the makespan pre-check: completion times are
+#: accumulated as ``now + delay`` per event, so a bound that only just
+#: fits could differ from the serialized sum by rounding.  One whole
+#: microsecond dwarfs any float error at slot magnitudes.
+_MAKESPAN_MARGIN_US = 1.0
+
+#: Upper bound of the multi-core memory-stall penalty
+#: (``repro.ran.tasks._MAX_CORE_PENALTY``) applied in the makespan
+#: pre-check regardless of how many cores end up active.
+_STALL_CEIL = 1.25
+
+
+class _VirtualTimer:
+    """Drop-in for an engine ``Timer`` during a replay.
+
+    Same ``arm``/``cancel``/``armed`` surface, but entries go to the
+    kernel's local heap with a local sequence number instead of the
+    engine's.  The kernel detaches the entry before firing so the
+    callback can re-arm, mirroring ``Engine._fire``.
+    """
+
+    __slots__ = ("_kernel", "_callback", "_entry")
+
+    def __init__(self, kernel: "ArraySlotKernel", callback) -> None:
+        self._kernel = kernel
+        self._callback = callback
+        self._entry = None
+
+    @property
+    def armed(self) -> bool:
+        entry = self._entry
+        return entry is not None and entry[2] is not None
+
+    def arm(self, delay: float) -> None:
+        if self.armed:
+            raise RuntimeError("virtual timer is already armed")
+        kernel = self._kernel
+        kernel._vseq += 1
+        entry = [kernel.engine._now + delay, kernel._vseq, self]
+        self._entry = entry
+        heappush(kernel._heap, entry)
+
+    def cancel(self) -> None:
+        entry = self._entry
+        if entry is not None:
+            entry[2] = None
+
+
+class ArraySlotKernel:
+    """Replays certified slots synchronously for one ``Simulation``."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.engine = sim.engine
+        self.pool = sim.pool
+        self._heap: list[list] = []
+        self._vseq = 0
+        # (worker, virtual finish, virtual wake, real finish, real wake)
+        # tuples; rebuilt only when the pool's worker list changes.
+        self._vtimers: list[tuple] = []
+        #: A scheduler tick coincides with the next slot boundary; the
+        #: event engine fires it right *after* the boundary callback,
+        #: so the kernel replays it at the top of the next slot.
+        self._pending_boundary_tick = False
+        # max_latency_us recomputes a bucket max per call; the isolated
+        # mixture is fixed for the pool's lifetime.
+        self._wake_bound_us = sim.pool.os_model.max_latency_us(False)
+        #: Micro-events (task/wakeup timer firings) replayed off the
+        #: local heap instead of the engine heap.
+        self.micro_events = 0
+        #: Scheduler ticks consumed arithmetically by the replay
+        #: (live-fired, compressed, and batch-emulated alike).
+        self.ticks_emulated = 0
+
+    # -- certification -----------------------------------------------------
+
+    def _certify(self, dags: list, now: float, slot_end: float) -> bool:
+        pool = self.pool
+        if not pool.policy.array_certify():
+            return False
+        if pool.active_dags or pool._ready or pool._waking or pool._pinned:
+            return False
+        if pool.accelerator is not None or pool.task_observer is not None:
+            return False
+        if pool.metrics.record_tasks:
+            return False
+        bus = pool.event_bus
+        if bus is not None and bus.enabled:
+            return False
+        if pool.cache_model.pressure != 0.0:
+            return False
+        if self.engine._run_end < slot_end:
+            return False
+        # Worst-case makespan: one wakeup window plus the serialized
+        # pressure-0 runtime ceilings (see module docstring).
+        budget = (slot_end - now - _MAKESPAN_MARGIN_US
+                  - self._wake_bound_us)
+        total = 0.0
+        for dag in dags:
+            for task in dag.tasks:
+                mult = task.stoch_mult
+                if mult is None:
+                    return False  # presampling disabled; not certified
+                ceiling = task.base_cost_us * mult
+                if task.memory_bound:
+                    ceiling *= _STALL_CEIL
+                total += ceiling if ceiling > 0.3 else 0.3
+                if total > budget:
+                    return False
+        return True
+
+    # -- worker timer swap -------------------------------------------------
+
+    def _swap_timers(self) -> None:
+        vt = self._vtimers
+        workers = self.pool.workers
+        if len(vt) != len(workers) or any(
+                entry[0] is not worker
+                for entry, worker in zip(vt, workers)):
+            pool = self.pool
+            vt = self._vtimers = [
+                (worker,
+                 _VirtualTimer(self, partial(pool._finish, worker)),
+                 _VirtualTimer(self, partial(pool._awake, worker)),
+                 worker.finish_timer, worker.wake_timer)
+                for worker in workers
+            ]
+        for worker, vfinish, vwake, _, _ in vt:
+            vfinish._entry = None
+            vwake._entry = None
+            worker.finish_timer = vfinish
+            worker.wake_timer = vwake
+
+    def _restore_timers(self) -> None:
+        for worker, _, _, finish, wake in self._vtimers:
+            worker.finish_timer = finish
+            worker.wake_timer = wake
+
+    # -- the replay --------------------------------------------------------
+
+    def replay(self, dags: list) -> bool:
+        """Replay one slot synchronously; False means "run the event path".
+
+        Called from the slot-boundary callback with the boundary's
+        DAGs, before ``release_slot``.  On True the slot is fully
+        processed (release, execution, ticks, completions) and the
+        engine clock is back at the boundary time.
+        """
+        engine = self.engine
+        pool = self.pool
+        now = engine._now
+        slot_end = now + self.sim._slot_us
+        if not self._certify(dags, now, slot_end):
+            return False
+        policy = pool.policy
+        period = policy.tick_interval_us
+        tick_event = pool._tick_event
+        if tick_event is None:
+            tick_time = math.inf
+        elif self._pending_boundary_tick:
+            tick_time = now  # deferred boundary tick fires first
+        else:
+            tick_time = tick_event.time
+        self._pending_boundary_tick = False
+        if tick_event is not None:
+            tick_event.cancel()
+        heap = self._heap
+        heap.clear()
+        self._vseq = 0
+        tick_vseq = 0  # the parked entry predates every replay arm
+        self._swap_timers()
+        try:
+            pool.release_slot(dags)
+            while heap:
+                head = heap[0]
+                if head[2] is None:
+                    heappop(heap)
+                    continue
+                next_time = head[0]
+                if tick_time < next_time or (
+                        tick_time == next_time and tick_vseq < head[1]):
+                    # A run of ticks strictly precedes the next
+                    # micro-event (ticks after the first consume fresh,
+                    # larger sequence numbers, so only time gates them).
+                    first = last = tick_time
+                    count = 1
+                    step = first + period
+                    while step < next_time:
+                        last = step
+                        count += 1
+                        step += period
+                    if policy.certify_tick_run(first, last, count):
+                        tick_time = last + period
+                        self._vseq += count
+                        tick_vseq = self._vseq
+                        self.ticks_emulated += count
+                        continue
+                    # Not provably identical: fire ONE tick live and
+                    # re-examine the heap — the tick may arm wakeups
+                    # that land before the rest of the run.
+                    engine._now = tick_time
+                    policy.on_tick(tick_time)
+                    tick_time += period
+                    self._vseq += 1
+                    tick_vseq = self._vseq
+                    self.ticks_emulated += 1
+                    continue
+                entry = heappop(heap)
+                timer = entry[2]
+                engine._now = entry[0]
+                timer._entry = None  # detach so the callback can re-arm
+                self.micro_events += 1
+                timer._callback()
+            # Post-completion: emulate the recurring tick source with
+            # the exact quiescent-gap batching of ``VranPool._tick``
+            # (its guards hold by construction: no active DAGs, no
+            # in-flight wakeups, no side channels).
+            quiet = pool._quiet_until
+            run_end = engine._run_end
+            while tick_time < slot_end:
+                engine._now = tick_time
+                policy.on_tick(tick_time)
+                self._vseq += 1
+                tick_vseq = self._vseq
+                self.ticks_emulated += 1
+                bound = policy.idle_tick_bound(tick_time)
+                if bound is not None:
+                    nxt = engine.peek_time()
+                    step = tick_time + period
+                    skipped = 0
+                    last = 0.0
+                    while (step <= bound and step <= run_end
+                           and step < quiet
+                           and (nxt is None or step < nxt)):
+                        last = step
+                        skipped += 1
+                        step += period
+                    if skipped:
+                        policy.on_ticks_skipped(skipped, last)
+                        pool.ticks_batched += skipped
+                        pool.tick_batches += 1
+                        self.ticks_emulated += skipped
+                        tick_time = last + period
+                        continue
+                tick_time += period
+        finally:
+            self._restore_timers()
+            engine._now = now
+        if tick_event is not None:
+            # Park the recurring tick entry at the stream's next
+            # position.  A position exactly on the next boundary must
+            # fire *after* that boundary's callback, which a fresh
+            # entry (sequence assigned now, before the boundary entry's
+            # re-key) cannot do — defer it to the next replay/fallback
+            # instead.  The final slot has no next boundary (the
+            # driver cancelled the slot event and set quiet = inf), so
+            # the entry parks on the boundary position itself.
+            if tick_time == slot_end and not math.isinf(pool._quiet_until):
+                self._pending_boundary_tick = True
+                tick_time += period
+            pool._tick_event = engine.schedule_every(
+                period, pool._tick, start=tick_time)
+        return True
+
+    def after_fallback_release(self) -> None:
+        """Replay a deferred boundary tick on the event path.
+
+        When a slot falls back with a boundary-coincident tick parked
+        by the previous replay, the event engine would have fired that
+        tick immediately after the boundary callback: same time, DAGs
+        just released.  ``VranPool._tick`` reduces to ``policy.on_tick``
+        there (the pool is never quiescent right after a release), so
+        fire that, then refresh the recurring entry's sequence number —
+        the event engine re-keys *after* the boundary's arms, so the
+        parked entry's stale (older) sequence would tie-break wrongly
+        against timers armed this boundary.
+        """
+        if not self._pending_boundary_tick:
+            return
+        self._pending_boundary_tick = False
+        pool = self.pool
+        engine = self.engine
+        policy = pool.policy
+        policy.on_tick(engine._now)
+        self.ticks_emulated += 1
+        tick_event = pool._tick_event
+        if tick_event is not None:
+            next_time = tick_event.time
+            tick_event.cancel()
+            pool._tick_event = engine.schedule_every(
+                policy.tick_interval_us, pool._tick, start=next_time)

@@ -193,6 +193,24 @@ class Metrics:
         if latency_us > deadline_us:
             self._misses.value += 1
 
+    def record_slot_batch(self, latencies_us: list,
+                          deadlines_us: list) -> None:
+        """Bulk :meth:`on_slot_complete` for the array-timeline kernel.
+
+        Order-preserving appends plus one counter update; equivalent to
+        calling :meth:`on_slot_complete` once per pair.  Slot-latency
+        recording is independent of the core-time integrals, so a
+        kernel may defer and flush a slot's completions in one call.
+        """
+        self.slot_latencies.extend(latencies_us)
+        self._slots.value += len(latencies_us)
+        misses = 0
+        for latency, deadline in zip(latencies_us, deadlines_us):
+            if latency > deadline:
+                misses += 1
+        if misses:
+            self._misses.value += misses
+
     @property
     def slot_count(self) -> int:
         return self._slots.value

@@ -111,6 +111,18 @@ class WakeupLatencyModel:
                        -1, collocated, False)
         return latency
 
+    def max_latency_us(self, collocated: bool) -> float:
+        """Hard upper bound of any latency :meth:`sample` can return.
+
+        The mixture draws uniformly within its buckets, so the bound is
+        the largest bucket ceiling (200 µs isolated).  The array-timeline
+        kernel uses it in its slot makespan pre-check: a slot is only
+        replayed synchronously when even worst-case wakeups plus
+        worst-case task runtimes fit inside the slot.
+        """
+        _, buckets = self._collocated if collocated else self._isolated
+        return max(b.high_us for b in buckets)
+
     def expected_body_us(self, collocated: bool) -> float:
         """Mean latency excluding the rare kernel-stall component.
 

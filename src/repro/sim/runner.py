@@ -446,7 +446,23 @@ class Simulation:
             "window_slots": 0,   # slots served by the window kernel
             "idle_slots": 0,     # of those, slots with zero bytes
             "windows": 0,        # build_many pre-pass invocations
+            "array_slots": 0,    # slots replayed by the array kernel
         }
+        #: Array-timeline engine (ISSUE 9): "array" replays certified
+        #: slots synchronously inside the boundary callback, bypassing
+        #: the event heap; "event" (the default) is the legacy
+        #: per-event path.  Slots the kernel cannot certify fall back
+        #: to the event path mid-run, so results are byte-identical
+        #: either way (see repro.sim.arraykernel).
+        self.engine_mode = getattr(scenario, "engine_mode", "event")
+        self._array_kernel = None
+        self._use_array = False
+        if self.engine_mode == "array":
+            # Lazy import: the kernel is opt-in and the hot default
+            # path should not pay for it.
+            from .arraykernel import ArraySlotKernel
+
+            self._array_kernel = ArraySlotKernel(self)
 
     # -- traffic ----------------------------------------------------------------
 
@@ -656,6 +672,16 @@ class Simulation:
             # The pool is guaranteed no new work until the next
             # boundary — the tick-batching fast path keys off this.
             pool._quiet_until = self.engine.now + self._slot_us
+        kernel = self._array_kernel
+        if kernel is not None and self._use_array:
+            if kernel.replay(dags):
+                stats["array_slots"] += 1
+                return
+            pool.release_slot(dags)
+            # A boundary-coincident tick parked by a previous replay
+            # fires right after the boundary on the event path.
+            kernel.after_fallback_release()
+            return
         pool.release_slot(dags)
 
     # -- reconfiguration (elastic runtime) ---------------------------------------
@@ -972,6 +998,19 @@ class Simulation:
             self.slot_window > 0
             and not self.profiling_traffic
             and self.allocation_mode != "mac"
+        )
+        # The array kernel self-disables for configurations whose slot
+        # interiors are observable or whose builds feed back into the
+        # timeline (mirrors the window kernel's gating, plus reconfig:
+        # worker add/remove and cell detach/attach change pool
+        # structure mid-run).  Everything event-dependent — observers,
+        # bus, pressure, quiescence — is re-checked live per slot.
+        self._use_array = (
+            self._array_kernel is not None
+            and not self.profiling_traffic
+            and self.allocation_mode != "mac"
+            and self.workload_name == "none"
+            and not self.scenario.reconfig
         )
         self._slot_event = self.engine.schedule_every(
             self._slot_us, self._on_slot_boundary, start=start)

@@ -1,0 +1,231 @@
+"""A/B byte-identity tests for the array-timeline engine mode.
+
+``engine_mode="array"`` replays certified slots synchronously inside
+the slot-boundary callback (``repro.sim.arraykernel``), bypassing the
+event heap while invoking the real pool/policy/metrics/OS-model
+methods in exact (time, seq) order.  It is only admissible because the
+result payload is byte-identical to the event engine: the canonical
+digest must match on every workload, whether a run certifies every
+slot (fig03-calibrated low load), none (the load-0.5 goldens), or a
+per-slot mixture — and the kernel must cleanly self-disable under
+every mode whose interior the replay cannot certify.
+"""
+
+import pytest
+
+from tests.test_determinism import (
+    FLEET_CELLS,
+    FLEET_SLOTS,
+    GOLDEN_DIGESTS,
+    GOLDEN_FLEET_DIGEST,
+    SEED,
+    SLOTS,
+)
+
+from repro.exec.digest import result_digest
+from repro.fleet import FleetScenario, Planner, combined_digest
+from repro.ran.config import PoolConfig, cell_20mhz_fdd
+from repro.scenario import Scenario, build_simulation
+
+
+def _scenario(**overrides) -> Scenario:
+    base = dict(
+        pool={"name": "20mhz"},
+        policy="concordia-noml",
+        workload="none",
+        load_fraction=0.5,
+        seed=SEED,
+        engine_mode="array",
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def _fig03_scenario(**overrides) -> Scenario:
+    pool = PoolConfig(cells=(cell_20mhz_fdd("c0"),), num_cores=4,
+                      deadline_us=2000.0)
+    return _scenario(pool=pool, load_fraction=0.02, seed=7, **overrides)
+
+
+def _ab(scenario_kwargs: dict, slots: int):
+    """(array digest, event digest, array simulation)."""
+    array_sim = build_simulation(_scenario(**scenario_kwargs))
+    on = result_digest(array_sim.run(slots))
+    event_sim = build_simulation(_scenario(engine_mode="event",
+                                           **scenario_kwargs))
+    off = result_digest(event_sim.run(slots))
+    assert event_sim.kernel_stats["array_slots"] == 0
+    return on, off, array_sim
+
+
+class TestGoldenWorkloadsByteIdentity:
+    """Array mode must reproduce the four frozen golden digests."""
+
+    @pytest.mark.parametrize("policy,workload",
+                             list(GOLDEN_DIGESTS.keys()))
+    def test_array_mode_matches_golden(self, policy, workload):
+        scenario = _scenario(policy=policy, workload=workload)
+        result = build_simulation(scenario).run(SLOTS)
+        assert result_digest(result) == GOLDEN_DIGESTS[(policy, workload)], (
+            f"array-mode digest drifted from the golden for "
+            f"({policy}, {workload})")
+
+    def test_engine_mode_not_digest_relevant(self):
+        # The digest canonicalization strips engine_mode: the mode is
+        # an execution strategy, and the digest is the regression test
+        # of its byte-identity contract.
+        on, off, _ = _ab({}, slots=40)
+        assert on == off
+
+
+class TestCertifiedReplayByteIdentity:
+    def test_fig03_low_load_fully_certified(self):
+        # One 20 MHz cell at 2 % load: every slot passes certification
+        # (quiescent boundary, makespan fits), so this exercises the
+        # pure replay path including the boundary-coincident tick
+        # parking (500 us slots / 20 us ticks divide evenly).
+        array_sim = build_simulation(_fig03_scenario())
+        on = result_digest(array_sim.run(240))
+        event_sim = build_simulation(_fig03_scenario(engine_mode="event"))
+        off = result_digest(event_sim.run(240))
+        assert on == off
+        stats = array_sim.kernel_stats
+        assert stats["array_slots"] / stats["slots"] >= 0.5
+
+    def test_mixed_certified_and_fallback_slots(self):
+        # Seven cells at 10 % load: some slots certify, others carry
+        # DAGs across the boundary or blow the makespan budget and
+        # fall back mid-run — the hard case for the parked-tick and
+        # sequence-parity bookkeeping.
+        on, off, sim = _ab(dict(load_fraction=0.1, seed=7), slots=120)
+        assert on == off
+        stats = sim.kernel_stats
+        assert 0 < stats["array_slots"] < stats["slots"], (
+            "expected a per-slot mixture of replay and fallback, got "
+            f"{stats}")
+
+    def test_flexran_policy_never_certifies_but_matches(self):
+        on, off, sim = _ab(dict(policy="flexran"), slots=40)
+        assert on == off
+        assert sim.kernel_stats["array_slots"] == 0
+
+
+class TestFleetByteIdentity:
+    def test_array_fleet_matches_golden(self):
+        # Fleet shards drive slots through run_to_barrier, whose
+        # horizon ends at each boundary, so certification's run_end
+        # gate falls back every slot — and the digests must still be
+        # exactly the event-mode goldens.
+        fleet = FleetScenario(cells=FLEET_CELLS, shards=2,
+                              num_slots=FLEET_SLOTS, seed=SEED,
+                              engine_mode="array")
+        report = Planner(fleet, jobs=1).run()
+        assert report.ok, report.failures
+        assert len(report.cell_digests) == FLEET_CELLS
+        assert combined_digest(report.cell_digests) == GOLDEN_FLEET_DIGEST
+
+
+class TestKernelSelfDisable:
+    """Modes the replay cannot certify must fall back cleanly."""
+
+    @pytest.mark.parametrize("overrides", [
+        dict(allocation="mac"),
+        dict(traffic="profiling"),
+        dict(workload="redis"),
+        dict(reconfig=({"action": "add_worker", "at_slot": 5},)),
+    ])
+    def test_static_gate_disables_kernel(self, overrides):
+        simulation = build_simulation(_fig03_scenario(**overrides))
+        simulation.run(20)
+        assert simulation.kernel_stats["array_slots"] == 0
+        assert simulation.kernel_stats["slots"] == 20
+
+    def test_task_observer_disables_certification(self):
+        simulation = build_simulation(_fig03_scenario())
+        simulation.pool.task_observer = lambda task: None
+        simulation.run(20)
+        assert simulation.kernel_stats["array_slots"] == 0
+
+    def test_task_recording_disables_certification(self):
+        simulation = build_simulation(_fig03_scenario())
+        simulation.metrics.record_tasks = True
+        simulation.run(20)
+        assert simulation.kernel_stats["array_slots"] == 0
+
+
+class TestPredictedPathBatchCutoff:
+    def test_scalar_and_vector_paths_byte_identical(self, monkeypatch):
+        # on_slot_start's WCET/critical-path fill picks a scalar or
+        # numpy implementation by slot size; forcing each branch for a
+        # whole run must not move a single float.
+        import repro.ran.dag as dag_mod
+
+        digests = set()
+        for cutoff in (0, 10**9):
+            monkeypatch.setattr(dag_mod, "_BATCH_PATH_CUTOFF", cutoff)
+            simulation = build_simulation(
+                _scenario(engine_mode="event", load_fraction=0.3))
+            digests.add(result_digest(simulation.run(40)))
+        assert len(digests) == 1
+
+
+class TestFastRngBlockSize:
+    """The stream is a deterministic function of (seed, block).
+
+    The default block must reproduce the historical layout exactly —
+    uniform presample first, normal presample second, raw-generator
+    consumers continuing after both — because every golden digest
+    depends on it.  Non-default blocks are deterministic too, but are
+    deliberately distinct streams (see the fastrng module docstring).
+    """
+
+    def test_default_block_pins_historical_layout(self):
+        import numpy as np
+
+        from repro.sim.fastrng import DEFAULT_BLOCK, FastRng
+
+        rng = FastRng(np.random.default_rng(42))
+        raw = np.random.default_rng(42)
+        expected_uniform = raw.random(DEFAULT_BLOCK)
+        expected_normal = raw.standard_normal(DEFAULT_BLOCK)
+        assert [rng.random() for _ in range(64)] == \
+            expected_uniform[:64].tolist()
+        assert [rng.standard_normal() for _ in range(64)] == \
+            expected_normal[:64].tolist()
+        # Raw-generator consumers (the wakeup model) resume exactly
+        # after the two presample blocks.
+        assert rng.generator.random() == raw.random()
+
+    def test_explicit_default_block_identical_to_implicit(self):
+        import numpy as np
+
+        from repro.sim.fastrng import DEFAULT_BLOCK, FastRng
+
+        implicit = FastRng(np.random.default_rng(7))
+        explicit = FastRng(np.random.default_rng(7), block=DEFAULT_BLOCK)
+        assert [implicit.random() for _ in range(32)] == \
+            [explicit.random() for _ in range(32)]
+        assert [implicit.standard_normal() for _ in range(32)] == \
+            [explicit.standard_normal() for _ in range(32)]
+
+    @pytest.mark.parametrize("block", [1, 7, 64])
+    def test_each_block_size_is_deterministic(self, block):
+        import numpy as np
+
+        from repro.sim.fastrng import FastRng
+
+        a = FastRng(np.random.default_rng(9), block=block)
+        b = FastRng(np.random.default_rng(9), block=block)
+        draws_a = [a.random() for _ in range(3 * block)] + \
+            [a.standard_normal() for _ in range(3 * block)]
+        draws_b = [b.random() for _ in range(3 * block)] + \
+            [b.standard_normal() for _ in range(3 * block)]
+        assert draws_a == draws_b
+
+    def test_block_must_be_positive(self):
+        import numpy as np
+
+        from repro.sim.fastrng import FastRng
+
+        with pytest.raises(ValueError):
+            FastRng(np.random.default_rng(0), block=0)
