@@ -143,6 +143,19 @@ def idle_kernel_run(slots: int = IDLE_KERNEL_SLOTS, seed: int = 7,
         report["array_slots"] = stats["array_slots"]
         report["array_share"] = round(
             stats["array_slots"] / max(1, stats["slots"]), 3)
+        report["vector_slots"] = stats["vector_slots"]
+        kernel = simulation._array_kernel
+        # Wall-clock phase breakdown of the array run: window fill
+        # (traffic/plan/DAG prebuild), closed-form vector commits,
+        # fallback heap replays, certification-gate rejects, and the
+        # end-of-run latency histogram/summary fold.
+        report["phases"] = {
+            "fill_wall_s": round(simulation.fill_wall_s, 4),
+            "vector_wall_s": round(kernel.vector_wall_s, 4),
+            "heap_wall_s": round(kernel.heap_wall_s, 4),
+            "gate_wall_s": round(kernel.gate_wall_s, 4),
+            "summary_wall_s": round(simulation.summary_wall_s, 4),
+        }
     return report
 
 
@@ -265,9 +278,29 @@ def profile_hotpath(slots: int, seed: int, top: int = 30,
           f"ticks batched {simulation.pool.ticks_batched} in "
           f"{simulation.pool.tick_batches} gaps")
     array_slots = kernel.get("array_slots", 0)
+    vector_slots = kernel.get("vector_slots", 0)
     print(f"array kernel ({engine} engine): certified and replayed "
           f"{array_slots}/{kernel['slots']} slots "
-          f"({100.0 * array_slots / max(1, kernel['slots']):.1f}%)")
+          f"({100.0 * array_slots / max(1, kernel['slots']):.1f}%), "
+          f"{vector_slots} via the closed-form vector path")
+    # Phase breakdown of the same run (wall clock, not profiler time):
+    # where a slot's wall goes once the certified window kernel engages.
+    phases = [
+        ("window fill (traffic/plan/DAG prebuild)",
+         simulation.fill_wall_s),
+        ("latency summary/histogram fold", simulation.summary_wall_s),
+    ]
+    array_kernel = getattr(simulation, "_array_kernel", None)
+    if array_kernel is not None:
+        phases[1:1] = [
+            ("vector kernel (closed-form commits)",
+             array_kernel.vector_wall_s),
+            ("fallback heap replay", array_kernel.heap_wall_s),
+            ("certification-gate rejects", array_kernel.gate_wall_s),
+        ]
+    print("phase breakdown:")
+    for label, wall in phases:
+        print(f"  {label}: {wall:.3f}s")
     return 0
 
 
@@ -404,6 +437,16 @@ def run_bench(args) -> int:
                   f"{report['idle_kernel_array']['array_share']:.0%} of "
                   f"the fig03-calibrated workload "
                   f"(< {ARRAY_KERNEL_MIN_SHARE:.0%})", file=sys.stderr)
+            status = 1
+        # The event and array engines run back-to-back in this process
+        # (same seed, same workload), so their ratio is immune to
+        # machine-load drift: the array timeline must never lose to the
+        # per-event engine it certifies against.
+        if report["idle_kernel_array"]["speedup_vs_event"] < 1.0:
+            print("FAIL: array-timeline engine slower than the event "
+                  "engine on the fig03 workload "
+                  f"({report['idle_kernel_array']['speedup_vs_event']:.2f}x"
+                  " < 1.00x)", file=sys.stderr)
             status = 1
         baseline_array = baseline.get("idle_kernel_array")
         if baseline_array:

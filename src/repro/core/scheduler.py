@@ -386,6 +386,55 @@ class ConcordiaScheduler(SchedulerPolicy):
         self._scheduling_calls.value += count
         return True
 
+    # -- vectorized certified-slot kernel -------------------------------------------
+
+    def vector_params(self) -> Optional[dict]:
+        """Closed-form slot parameters (see SchedulerPolicy.vector_params).
+
+        Only the predictor-less, zero-standby configuration qualifies:
+        the ML predictor trains on every task completion (a side effect
+        the closed form skips), and a standby floor changes the
+        wake/yield trace away from the canonical wake-once/yield-once
+        shape.  ``pin_tasks_to_wakeups`` is False for Concordia, but the
+        guard keeps the contract explicit.
+        """
+        if (self.predictor is not None or self.min_standby_cores != 0
+                or self.pin_tasks_to_wakeups):
+            return None
+        return {
+            "tick_us": self.tick_interval_us,
+            "release_hold_us": self.release_hold_us,
+            "wakeup_overdue_us": self.wakeup_overdue_us,
+            "wcet_margin": self.wcet_fallback_margin,
+        }
+
+    def vector_ready(self) -> bool:
+        """True iff the scheduler is in the unique post-slot quiescent
+        state the closed form starts from: no DAG registry entries and
+        a demand window that is empty or a single trailing zero (what a
+        fully drained slot — or a fresh run — leaves behind)."""
+        if self._states:
+            return False
+        window = self._demand_window
+        return not window or (len(window) == 1 and window[0][1] <= 0)
+
+    def vector_commit(self, n_ticks: int, last_tick_us: float) -> None:
+        """Net policy effect of one closed-form slot.
+
+        The event path would have run ``on_slot_start`` once (one
+        prediction pass + one reschedule) and ``n_ticks`` tick
+        reschedules, ending — as proven by the kernel's gates — with
+        every ratchet gone (states deleted at DAG completion) and the
+        demand window reduced to the trailing zero stamped at the last
+        tick.  The wall-clock counters are intentionally untouched:
+        they are stripped from the digest and measure *actual* work.
+        """
+        self._prediction_calls.value += 1
+        self._scheduling_calls.value += n_ticks + 1
+        window = self._demand_window
+        window.clear()
+        window.append((last_tick_us, 0))
+
     # -- the scheduling decision ---------------------------------------------------
 
     def _reschedule(self, now: float, kind: str = "tick") -> None:

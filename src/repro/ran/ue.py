@@ -125,10 +125,17 @@ class SlotLoad:
         self.slot_index = slot_index
         self.uplink = uplink
         self.allocations = allocations
-        self.num_ues = len(allocations)
-        self.total_bytes = sum(a.tbs_bytes for a in allocations)
-        self.total_codeblocks = sum(a.num_codeblocks for a in allocations)
-        self.total_layers = sum(a.layers for a in allocations)
+        if allocations:
+            self.num_ues = len(allocations)
+            self.total_bytes = sum(a.tbs_bytes for a in allocations)
+            self.total_codeblocks = sum(
+                a.num_codeblocks for a in allocations)
+            self.total_layers = sum(a.layers for a in allocations)
+        else:
+            self.num_ues = 0
+            self.total_bytes = 0
+            self.total_codeblocks = 0
+            self.total_layers = 0
 
     @property
     def idle(self) -> bool:

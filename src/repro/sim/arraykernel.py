@@ -68,10 +68,27 @@ rotations that land inside a replayed slot.
 from __future__ import annotations
 
 import math
+import time
 from functools import partial
 from heapq import heappop, heappush
+from typing import Optional
 
-__all__ = ["ArraySlotKernel"]
+from ..ran.dag import topology_for_kind
+
+__all__ = ["ArraySlotKernel", "SlotPlan"]
+
+#: Certified slots must stay far from the boundary where the summed
+#: per-DAG utilization could round ``ceil`` up past one core: the
+#: vectorized closed form assumes the Concordia demand is exactly one
+#: core while any DAG is alive.  0.45 of the post-slot slack leaves a
+#: >2x cushion on top of the explicit fsum inflation below.
+_VECTOR_UTIL_FRACTION = 0.45
+
+#: Relative inflation applied to the fsum of predicted work so the
+#: bound provably dominates the scheduler's left-folded sums at any
+#: summation order (fsum is correctly rounded; the fold's error is
+#: well below 1e-7 relative at these magnitudes).
+_PRED_SUM_INFLATION = 1.0000001
 
 #: Safety margin (µs) on the makespan pre-check: completion times are
 #: accumulated as ``now + delay`` per event, so a bound that only just
@@ -121,6 +138,20 @@ class _VirtualTimer:
             entry[2] = None
 
 
+class SlotPlan:
+    """Static per-slot precompute for the vectorized certified kernel.
+
+    Built off the boundary hot path (at window-fill time) by
+    :meth:`ArraySlotKernel.build_plan`.  ``ceiling_sum`` is the
+    certification fold reused by the heap replay's budget check even
+    when ``ok`` is False; the remaining fields describe the closed-form
+    schedule and are only populated when the static vector gates hold.
+    """
+
+    __slots__ = ("ok", "ceiling_sum", "runtimes", "completion",
+                 "n_tasks", "release_us", "deadline_us")
+
+
 class ArraySlotKernel:
     """Replays certified slots synchronously for one ``Simulation``."""
 
@@ -144,17 +175,70 @@ class ArraySlotKernel:
         #: local heap instead of the engine heap.
         self.micro_events = 0
         #: Scheduler ticks consumed arithmetically by the replay
-        #: (live-fired, compressed, and batch-emulated alike).
+        #: (live-fired, compressed, vector-gridded and batch-emulated
+        #: alike).
         self.ticks_emulated = 0
+        #: Wall-clock phase accounting for ``repro bench --profile``.
+        self.vector_wall_s = 0.0
+        self.heap_wall_s = 0.0
+        self.gate_wall_s = 0.0
+        # Cached SchedulerPolicy.vector_params() (constant per policy).
+        self._vp: Optional[dict] = None
+        # tuple(kind_key per dag) -> (exec order, completion order).
+        self._order_cache: dict = {}
+        # Epoch of pool.workers the virtual-timer pool was built for.
+        self._vtimers_epoch = -1
+        # Deferred metrics from vectorized slots: flushed (in original
+        # chronological order) before any live metrics call can
+        # interleave — i.e. before a heap replay or event-path
+        # fallback, and at end of run.
+        self._pend_wakeups: list = []
+        self._pend_lat: list = []
+        self._pend_dl: list = []
+        self._pend_res: list = []
+        self._pend_busy: list = []
+        self._pend_core_now = 0.0
 
     # -- certification -----------------------------------------------------
 
-    def _certify(self, dags: list, now: float, slot_end: float) -> bool:
+    def _gate_budget(self, now: float, slot_end: float) -> Optional[float]:
+        """Structural certification gates; the runtime budget or None.
+
+        Everything from the module-docstring contract except the
+        per-task ceiling fold, which the caller runs against the
+        returned budget (or reuses a precomputed :class:`SlotPlan`
+        ceiling sum).
+        """
         pool = self.pool
         if not pool.policy.array_certify():
-            return False
+            return None
         if pool.active_dags or pool._ready or pool._waking or pool._pinned:
-            return False
+            return None
+        if pool.accelerator is not None or pool.task_observer is not None:
+            return None
+        if pool.metrics.record_tasks:
+            return None
+        bus = pool.event_bus
+        if bus is not None and bus.enabled:
+            return None
+        if pool.cache_model.pressure != 0.0:
+            return None
+        if self.engine._run_end < slot_end:
+            return None
+        # Worst-case makespan: one wakeup window plus the serialized
+        # pressure-0 runtime ceilings (see module docstring).
+        return slot_end - now - _MAKESPAN_MARGIN_US - self._wake_bound_us
+
+    def lazy_ok(self) -> bool:
+        """Whether window fill may defer DAG materialization.
+
+        Mirrors the *stable* side-channel gates of :meth:`_gate_budget`
+        (everything except per-boundary quiescence): when any of these
+        trips, the boundary would reject every slot anyway and lazily
+        planned slots would each pay a per-slot materialization instead
+        of the window-batched build.
+        """
+        pool = self.pool
         if pool.accelerator is not None or pool.task_observer is not None:
             return False
         if pool.metrics.record_tasks:
@@ -164,12 +248,9 @@ class ArraySlotKernel:
             return False
         if pool.cache_model.pressure != 0.0:
             return False
-        if self.engine._run_end < slot_end:
-            return False
-        # Worst-case makespan: one wakeup window plus the serialized
-        # pressure-0 runtime ceilings (see module docstring).
-        budget = (slot_end - now - _MAKESPAN_MARGIN_US
-                  - self._wake_bound_us)
+        return True
+
+    def _ceilings_fit(self, dags: list, budget: float) -> bool:
         total = 0.0
         for dag in dags:
             for task in dag.tasks:
@@ -184,23 +265,233 @@ class ArraySlotKernel:
                     return False
         return True
 
+    # -- slot plans (static topology/cost precompute) ----------------------
+
+    def _vector_params(self) -> Optional[dict]:
+        vp = self._vp
+        if vp is None:
+            vp = self._vp = self.pool.policy.vector_params()
+        return vp
+
+    def _merged_order(self, dags: list) -> tuple:
+        """(flat execution order, completion order) for one slot's DAGs.
+
+        Simulates the pool's merged EDF queue for the certified case —
+        uniform deadlines, a single serving core, entry tasks pushed
+        dag-by-dag at release — over the per-kind topology templates.
+        With equal deadlines the EDF key ``(deadline, seq)`` reduces to
+        FIFO by push sequence, so the order depends only on the tuple
+        of DAG kinds and is cached on it.  Flat indices are dag-major
+        in ``dag.tasks`` order; the completion order is sorted
+        ``(last execution position, dag index)`` pairs.
+        """
+        key = tuple(dag.kind_key for dag in dags)
+        cached = self._order_cache.get(key)
+        if cached is not None:
+            return cached
+        return self._merged_order_for(
+            key, [topology_for_kind(dag) for dag in dags])
+
+    def _merged_order_for(self, key: tuple, topos: list) -> tuple:
+        """:meth:`_merged_order` body, from topology templates alone."""
+        cached = self._order_cache.get(key)
+        if cached is not None:
+            return cached
+        offsets = []
+        owner: list[int] = []
+        preds: list[int] = []
+        succs: list[tuple] = []
+        total = 0
+        for di, topo in enumerate(topos):
+            offsets.append(total)
+            owner.extend([di] * topo.num_tasks)
+            preds.extend(topo.pred_counts)
+            for successor_ids in topo.successors:
+                succs.append(tuple(total + s for s in successor_ids))
+            total += topo.num_tasks
+        # Push entry tasks exactly as release_slot would: dag order,
+        # then per-dag entry order, consuming one sequence number each.
+        heap: list[tuple] = []
+        seq = 0
+        for di, topo in enumerate(topos):
+            base = offsets[di]
+            for i in topo.entry_indices:
+                heappush(heap, (seq, base + i))
+                seq += 1
+        order: list[int] = []
+        while heap:
+            _, flat = heappop(heap)
+            order.append(flat)
+            for fs in succs[flat]:
+                preds[fs] -= 1
+                if preds[fs] == 0:
+                    heappush(heap, (seq, fs))
+                    seq += 1
+        last_pos = [0] * len(topos)
+        for pos, flat in enumerate(order):
+            last_pos[owner[flat]] = pos
+        completion = tuple(sorted(
+            (last_pos[di], di) for di in range(len(topos))))
+        cached = (tuple(order), completion)
+        self._order_cache[key] = cached
+        return cached
+
+    def build_plan(self, dags: list, release_us: float,
+                   deadline_us: float, slot_us: float) -> "SlotPlan":
+        """Precompute one slot's certification fold and vector schedule.
+
+        Called by the runner at window-fill time, off the boundary hot
+        path.  The returned plan always carries the certification
+        ceiling sum when presampling is on (reused by :meth:`replay`
+        even when the closed form is rejected); ``plan.ok`` is True
+        only when the static vector gates hold:
+
+        * every DAG is kind-keyed with the slot's uniform release and
+          deadline and strictly positive base costs (so EDF reduces to
+          FIFO and each Concordia DAG state keeps positive work);
+        * the inflated predicted-work bound keeps the summed DAG
+          utilization at most :data:`_VECTOR_UTIL_FRACTION` of the
+          post-slot slack — the demand stays exactly one core — and
+          leaves more than a tick period of slack over the critical
+          path, so no tick can enter the critical-stage escalation.
+
+        The remaining conditions (pool/policy quiescence, wakeup
+        timing, tick-grid collisions) are per-boundary and are checked
+        dynamically by :meth:`_vector_replay`.
+        """
+        plan = SlotPlan()
+        plan.release_us = release_us
+        plan.deadline_us = deadline_us
+        plan.ok = False
+        plan.ceiling_sum = None
+        plan.runtimes = None
+        plan.completion = None
+        plan.n_tasks = 0
+        total = 0.0
+        runtimes_flat: list[float] = []
+        bases: list[float] = []
+        vec_ok = True
+        for dag in dags:
+            if (dag.kind_key is None or dag.release_us != release_us
+                    or dag.deadline_us != deadline_us):
+                vec_ok = False
+            for task in dag.tasks:
+                mult = task.stoch_mult
+                if mult is None:
+                    return plan  # no ceiling sum: replay re-folds & rejects
+                base = task.base_cost_us
+                runtime = ceiling = base * mult
+                if task.memory_bound:
+                    ceiling *= _STALL_CEIL
+                # Same left fold as _ceilings_fit (dag-major, tasks
+                # order): the early-exit fold and this full fold agree
+                # because the addends are positive and the partial sums
+                # monotone.
+                total += ceiling if ceiling > 0.3 else 0.3
+                # Pressure-0 single-core runtime: base · stoch · 1.0 ·
+                # 1.0, clamped exactly like CostModel.sample_runtime.
+                runtimes_flat.append(runtime if runtime > 0.3 else 0.3)
+                bases.append(base)
+                if base <= 0.0:
+                    vec_ok = False
+        plan.ceiling_sum = total
+        if not vec_ok:
+            return plan
+        vp = self._vector_params()
+        if vp is None:
+            return plan
+        margin_slack = deadline_us - (release_us + slot_us)
+        if margin_slack <= 0.0:
+            return plan
+        bound = (_PRED_SUM_INFLATION * vp["wcet_margin"]
+                 * math.fsum(bases))
+        if bound > _VECTOR_UTIL_FRACTION * margin_slack:
+            return plan
+        if bound + vp["tick_us"] + _MAKESPAN_MARGIN_US >= margin_slack:
+            return plan
+        order, completion = self._merged_order(dags)
+        plan.runtimes = [runtimes_flat[i] for i in order]
+        plan.completion = completion
+        plan.n_tasks = len(runtimes_flat)
+        plan.ok = True
+        return plan
+
+    def build_plan_static(self, key: tuple, topos: list, bases: list,
+                          mults: list, membound: list, release_us: float,
+                          deadline_us: float,
+                          slot_us: float) -> "SlotPlan":
+        """Build a slot plan from cost rows alone — no DAG objects.
+
+        ``bases``/``mults``/``membound`` are flat dag-major lists in
+        ``dag.tasks`` order (``repro.ran.dag.plan_task_rows`` order);
+        ``key`` is the tuple of per-DAG kind keys and ``topos`` their
+        registered topology templates.  Applies the same gates and
+        folds as :meth:`build_plan` — bit-identical, since the inputs
+        equal what the built tasks would carry — plus a static budget
+        pre-check (for a certified window the boundary budget depends
+        only on the slot length), so a plan that comes back ``ok``
+        almost never forces its DAGs to be materialized at the
+        boundary.
+        """
+        plan = SlotPlan()
+        plan.release_us = release_us
+        plan.deadline_us = deadline_us
+        plan.ok = False
+        plan.ceiling_sum = None
+        plan.runtimes = None
+        plan.completion = None
+        plan.n_tasks = 0
+        total = 0.0
+        vec_ok = True
+        runtimes_flat: list[float] = []
+        for base, mult, is_membound in zip(bases, mults, membound):
+            runtime = ceiling = base * mult
+            if is_membound:
+                ceiling *= _STALL_CEIL
+            total += ceiling if ceiling > 0.3 else 0.3
+            runtimes_flat.append(runtime if runtime > 0.3 else 0.3)
+            if base <= 0.0:
+                vec_ok = False
+        plan.ceiling_sum = total
+        if not vec_ok:
+            return plan
+        vp = self._vector_params()
+        if vp is None:
+            return plan
+        margin_slack = deadline_us - (release_us + slot_us)
+        if margin_slack <= 0.0:
+            return plan
+        bound = (_PRED_SUM_INFLATION * vp["wcet_margin"]
+                 * math.fsum(bases))
+        if bound > _VECTOR_UTIL_FRACTION * margin_slack:
+            return plan
+        if bound + vp["tick_us"] + _MAKESPAN_MARGIN_US >= margin_slack:
+            return plan
+        if total > slot_us - _MAKESPAN_MARGIN_US - self._wake_bound_us:
+            # The boundary budget would (modulo float dust) reject;
+            # keep the slot on the materialized path.
+            return plan
+        order, completion = self._merged_order_for(key, topos)
+        plan.runtimes = [runtimes_flat[i] for i in order]
+        plan.completion = completion
+        plan.n_tasks = len(runtimes_flat)
+        plan.ok = True
+        return plan
+
     # -- worker timer swap -------------------------------------------------
 
     def _swap_timers(self) -> None:
-        vt = self._vtimers
-        workers = self.pool.workers
-        if len(vt) != len(workers) or any(
-                entry[0] is not worker
-                for entry, worker in zip(vt, workers)):
-            pool = self.pool
-            vt = self._vtimers = [
+        pool = self.pool
+        if self._vtimers_epoch != pool.workers_epoch:
+            self._vtimers = [
                 (worker,
                  _VirtualTimer(self, partial(pool._finish, worker)),
                  _VirtualTimer(self, partial(pool._awake, worker)),
                  worker.finish_timer, worker.wake_timer)
-                for worker in workers
+                for worker in pool.workers
             ]
-        for worker, vfinish, vwake, _, _ in vt:
+            self._vtimers_epoch = pool.workers_epoch
+        for worker, vfinish, vwake, _, _ in self._vtimers:
             vfinish._entry = None
             vwake._entry = None
             worker.finish_timer = vfinish
@@ -211,22 +502,105 @@ class ArraySlotKernel:
             worker.finish_timer = finish
             worker.wake_timer = wake
 
+    # -- deferred metrics --------------------------------------------------
+
+    def flush_pending(self) -> None:
+        """Apply metrics deferred by vectorized slots.
+
+        Wakeup latencies, slot completions and core-time segments are
+        buffered across consecutive vectorized slots and folded into
+        the metrics accumulators in their original chronological order.
+        Each accumulator is independent, so batching per accumulator
+        preserves byte identity; the buffers only ever span vectorized
+        slots (the replay flushes before any live metrics path — heap
+        replay or event fallback — can interleave, and the runner
+        flushes before finalize/detach/attach).
+        """
+        metrics = self.pool.metrics
+        wakeups = self._pend_wakeups
+        if wakeups:
+            metrics.record_wakeup_batch(wakeups)
+            self._pend_wakeups = []
+        latencies = self._pend_lat
+        if latencies:
+            metrics.record_slot_batch(latencies, self._pend_dl)
+            self._pend_lat = []
+            self._pend_dl = []
+        reserved = self._pend_res
+        if reserved:
+            metrics.record_core_segments(
+                self._pend_core_now, reserved, self._pend_busy)
+            self._pend_res = []
+            self._pend_busy = []
+
     # -- the replay --------------------------------------------------------
 
-    def replay(self, dags: list) -> bool:
+    def try_vector(self, plan: Optional[SlotPlan]) -> bool:
+        """Vector-commit a lazily planned slot whose DAGs were not built.
+
+        Called from the boundary for slots the window fill left
+        unmaterialized.  False means the caller must materialize the
+        slot's DAGs (a counter-keyed rebuild, byte-identical to having
+        built them at fill time) and take :meth:`replay`; rejection has
+        no side effects, so the subsequent replay sees a pristine
+        boundary.  No flush happens here — the follow-up replay or
+        event fallback flushes before any live metrics call.
+        """
+        if plan is None or not plan.ok:
+            return False
+        wall_start = time.perf_counter()
+        now = self.engine._now
+        slot_end = now + self.sim._slot_us
+        budget = self._gate_budget(now, slot_end)
+        if (budget is not None and plan.ceiling_sum <= budget
+                and self._vector_replay(None, plan, now, slot_end)):
+            self.vector_wall_s += time.perf_counter() - wall_start
+            return True
+        self.gate_wall_s += time.perf_counter() - wall_start
+        return False
+
+    def replay(self, dags: list,
+               plan: Optional[SlotPlan] = None) -> bool:
         """Replay one slot synchronously; False means "run the event path".
 
         Called from the slot-boundary callback with the boundary's
         DAGs, before ``release_slot``.  On True the slot is fully
         processed (release, execution, ticks, completions) and the
         engine clock is back at the boundary time.
+
+        With a precomputed ``plan`` whose static vector gates hold, the
+        slot is first offered to :meth:`_vector_replay`, which computes
+        the canonical wake-once/serial-FIFO/yield-once trace in closed
+        form and defers its metrics into the pending buffers; any
+        rejection (static or dynamic) falls through to the per-event
+        heap replay, and any path that can touch live metrics flushes
+        the buffers first.
         """
+        wall_start = time.perf_counter()
         engine = self.engine
         pool = self.pool
         now = engine._now
         slot_end = now + self.sim._slot_us
-        if not self._certify(dags, now, slot_end):
+        budget = self._gate_budget(now, slot_end)
+        if budget is None:
+            self.flush_pending()  # event fallback fires live metrics
+            self.gate_wall_s += time.perf_counter() - wall_start
             return False
+        if plan is not None and plan.ceiling_sum is not None:
+            # Reuse the window-time fold; equivalent to the early-exit
+            # fold because the partial sums are monotone.
+            certified = plan.ceiling_sum <= budget
+        else:
+            certified = self._ceilings_fit(dags, budget)
+        if not certified:
+            self.flush_pending()
+            self.gate_wall_s += time.perf_counter() - wall_start
+            return False
+        if (plan is not None and plan.ok
+                and self._vector_replay(dags, plan, now, slot_end)):
+            self.vector_wall_s += time.perf_counter() - wall_start
+            return True
+        self.flush_pending()  # heap replay calls live metrics below
         policy = pool.policy
         period = policy.tick_interval_us
         tick_event = pool._tick_event
@@ -335,6 +709,187 @@ class ArraySlotKernel:
                 tick_time += period
             pool._tick_event = engine.schedule_every(
                 period, pool._tick, start=tick_time)
+        self.heap_wall_s += time.perf_counter() - wall_start
+        return True
+
+    # -- the vectorized (closed-form) replay -------------------------------
+
+    def _vector_replay(self, dags: Optional[list], plan: SlotPlan,
+                       now: float, slot_end: float) -> bool:
+        """Commit one certified slot in closed form; False to fall back.
+
+        Preconditions (established by the caller): the structural
+        certification gates hold and ``plan.ok`` is True.  This method
+        re-checks everything that can vary per boundary, derives the
+        unique trace the per-event path would produce — wake at
+        ``now + L``, serial FIFO execution on one core, yield at the
+        first tick past the release hold — and applies its net effect
+        through the same model objects (policy counters and reclaim
+        window via :meth:`SchedulerPolicy.vector_commit`, churn EWMA
+        events, OS-model draw, listener callbacks) at the same
+        simulated times.  Latency/core-time metrics are deferred to the
+        pending buffers.  Any condition whose event-path outcome is not
+        provably the closed form (an overdue wakeup, a tick colliding
+        with a timer firing, a release hold crossing the boundary)
+        rejects, and the heap replay runs the slot instead.
+        """
+        pool = self.pool
+        policy = pool.policy
+        engine = self.engine
+        # Quiescent start: no cores held over from a previous slot
+        # (a fallback slot's release hold can cross the boundary).
+        if pool._reserved or pool.target_cores:
+            return False
+        if not policy.vector_ready():
+            return False
+        tick_event = pool._tick_event
+        if tick_event is None:
+            return False
+        vp = self._vector_params()
+        if vp is None:
+            return False
+        if plan.release_us != now:
+            return False
+        if dags is not None:
+            # Re-checked dynamically: predictor warmup can inflate
+            # WCETs after the window (and its plans) were built.  A
+            # lazily planned slot (dags None) never saw warmup — the
+            # runner materializes the whole window while warmup holds.
+            for dag in dags:
+                if dag.wcet_inflation != 1.0:
+                    return False
+        # Wakeup: peek the latency the (single) _wake would draw, then
+        # the serial FIFO finish fold — one spinning core, each task
+        # starts the instant its predecessor run finishes, so the fold
+        # is the exact per-event `now + delay` accumulation.
+        os_model = pool.os_model
+        latency = os_model.peek(False)
+        t_awake = now + latency
+        finishes: list[float] = []
+        f = t_awake
+        for runtime in plan.runtimes:
+            f += runtime
+            finishes.append(f)
+        c_max = f
+        # One pass over the slot's tick grid (accumulated exactly like
+        # the recurring engine entry: start + k·period as a running
+        # float sum), checking every per-tick condition in order:
+        # * a tick while the wakeup is in flight must not trip the
+        #   overdue escalation, and no tick may collide with the wakeup
+        #   or a task-finish timer firing time (the closed form does
+        #   not model those tie-breaks);
+        # * Concordia's reclaim window holds one core for
+        #   release_hold_us past the last demand-1 tick (the last grid
+        #   tick before c_max, or the release itself); the yield must
+        #   land inside this slot, else the state crosses the boundary.
+        period = vp["tick_us"]
+        overdue_limit = now + vp["wakeup_overdue_us"]
+        hold_us = vp["release_hold_us"]
+        if self._pending_boundary_tick:
+            t = now  # deferred boundary tick fires first
+        else:
+            t = tick_event.time
+        n_grid = 0
+        last_tick = t
+        t_head = now
+        t_yield = None
+        fi = 0
+        n_finish = len(finishes)
+        while t < slot_end:
+            n_grid += 1
+            last_tick = t
+            if t < t_awake:
+                if t > overdue_limit:
+                    return False
+            else:
+                if t == t_awake:
+                    return False
+                # finishes is ascending: advance the merge pointer to
+                # the first finish >= t; equality is a collision (this
+                # also covers a tick landing exactly on c_max).
+                while fi < n_finish and finishes[fi] < t:
+                    fi += 1
+                if fi < n_finish and finishes[fi] == t:
+                    return False
+                if t < c_max:
+                    t_head = t
+                elif t_yield is None and t_head < t - hold_us:
+                    t_yield = t
+                    # Every remaining condition is settled; the rest of
+                    # the grid only advances the running float sum (the
+                    # re-park position must accumulate exactly like the
+                    # recurring engine entry).
+                    t += period
+                    while t < slot_end:
+                        n_grid += 1
+                        last_tick = t
+                        t += period
+                    break
+            t += period
+        if not n_grid or t_yield is None:
+            return False
+        # ---- commit: replay the trace's net effect -------------------
+        metrics = pool.metrics
+        cache = pool.cache_model
+        # _wake at the boundary: consume the peeked OS-latency draw,
+        # sample occupancy-preemption, record the churn event, notify
+        # the availability listener with one core gone.
+        self._pend_wakeups.append(os_model.sample(False))
+        occupancy = pool._occupancy_provider
+        if occupancy is not None and occupancy():
+            metrics.on_preemption()
+        cache.record_scheduling_event(now)
+        listener = pool._available_listener
+        if listener is not None:
+            listener(now, pool.num_cores - 1)
+        # DAG completions in (last finish position, dag index) order —
+        # the order the per-event path observes them.
+        recycler = pool.dag_recycler if dags is not None else None
+        lat = self._pend_lat
+        dls = self._pend_dl
+        deadline_lat = plan.deadline_us - now
+        for pos, di in plan.completion:
+            lat.append(finishes[pos] - now)
+            dls.append(deadline_lat)
+            if recycler is not None:
+                recycler(dags[di])
+        # Core-time segments: reserved from wake to yield, busy while a
+        # task runs.  The first busy segment starts at t_awake (the
+        # pre-wake reserved span is charged at running-change with the
+        # old count of zero).
+        res = self._pend_res
+        busy = self._pend_busy
+        res.append(t_awake - now)
+        prev = t_awake
+        for fi in finishes:
+            dt = fi - prev
+            res.append(dt)
+            busy.append(dt)
+            prev = fi
+        res.append(t_yield - prev)
+        self._pend_core_now = t_yield
+        # _yield at the yield tick.
+        metrics.on_yield()
+        cache.record_scheduling_event(t_yield)
+        if listener is not None:
+            listener(t_yield, pool.num_cores)
+        # One zero-pressure interference sample per task dispatch.
+        cache.record_neutral_samples(plan.n_tasks)
+        # Policy net effect: per-tick/per-release counters plus the
+        # final reclaim-window state.
+        policy.vector_commit(n_grid, last_tick)
+        # Re-park the recurring tick entry exactly like the heap replay
+        # (see that method's comment for the boundary-tick deferral).
+        tick_event.cancel()
+        self._pending_boundary_tick = False
+        if t == slot_end and not math.isinf(pool._quiet_until):
+            self._pending_boundary_tick = True
+            t += period
+        pool._tick_event = engine.schedule_every(
+            period, pool._tick, start=t)
+        self.micro_events += plan.n_tasks + 1
+        self.ticks_emulated += n_grid
+        self.sim.kernel_stats["vector_slots"] += 1
         return True
 
     def after_fallback_release(self) -> None:

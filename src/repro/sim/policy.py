@@ -112,6 +112,34 @@ class SchedulerPolicy(abc.ABC):
         """
         return False
 
+    # -- vectorized certified-slot kernel ------------------------------------
+
+    def vector_params(self) -> Optional[dict]:
+        """Static parameters for the closed-form certified-slot kernel.
+
+        Returning a dict of ``tick_us`` / ``release_hold_us`` /
+        ``wakeup_overdue_us`` / ``wcet_margin`` certifies that, for a
+        quiescent boundary this policy would certify anyway, the
+        policy's entire per-slot behaviour is the canonical
+        wake-once/serial-FIFO/yield-once trace the vectorized kernel
+        computes in closed form (see repro.sim.arraykernel).  The
+        default None keeps the per-event emulation.
+        """
+        return None
+
+    def vector_ready(self) -> bool:
+        """Per-boundary re-check that the policy state is in the unique
+        quiescent configuration the closed form starts from."""
+        return False
+
+    def vector_commit(self, n_ticks: int, last_tick_us: float) -> None:
+        """Apply one vectorized slot's net effect on policy state.
+
+        ``n_ticks`` grid ticks fired inside the slot and the last one
+        was at ``last_tick_us``; the policy replays exactly the counter
+        and reclaim-window state the per-event path would have left.
+        """
+
     # -- predictions -----------------------------------------------------------
 
     def wcet(self, task: "TaskInstance") -> float:

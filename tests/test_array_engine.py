@@ -11,6 +11,7 @@ per-slot mixture — and the kernel must cleanly self-disable under
 every mode whose interior the replay cannot certify.
 """
 
+import numpy as np
 import pytest
 
 from tests.test_determinism import (
@@ -24,8 +25,19 @@ from tests.test_determinism import (
 
 from repro.exec.digest import result_digest
 from repro.fleet import FleetScenario, Planner, combined_digest
+from repro.fleet.report import histogram_percentile, latency_histogram
 from repro.ran.config import PoolConfig, cell_20mhz_fdd
+from repro.ran.dag import (
+    DagBuilder,
+    dag_kind_key,
+    plan_task_rows,
+    topology_for_kind,
+    topology_from_dag,
+)
+from repro.ran.tasks import CostModel, TaskType, prbs_for_bandwidth
+from repro.ran.ue import SlotLoad, UeAllocation, mcs_for_snr
 from repro.scenario import Scenario, build_simulation
+from repro.sim.metrics import Metrics
 
 
 def _scenario(**overrides) -> Scenario:
@@ -108,6 +120,233 @@ class TestCertifiedReplayByteIdentity:
         on, off, sim = _ab(dict(policy="flexran"), slots=40)
         assert on == off
         assert sim.kernel_stats["array_slots"] == 0
+
+
+class TestVectorKernelInterleave:
+    """Closed-form vector commits and heap replays share one run.
+
+    The window-vectorized kernel (ISSUE 10) commits most certified
+    slots without touching the event heap; slots whose OS wakeup draw
+    lands in the overdue tail (or whose DAGs were materialized at fill
+    time with inflation pending) replay through the heap instead.  The
+    two paths interleave slot by slot and the digest must not move.
+    """
+
+    def test_fig03_vector_and_heap_slots_interleave(self):
+        array_sim = build_simulation(_fig03_scenario())
+        on = result_digest(array_sim.run(240))
+        event_sim = build_simulation(_fig03_scenario(engine_mode="event"))
+        off = result_digest(event_sim.run(240))
+        assert on == off
+        stats = array_sim.kernel_stats
+        # Every slot is array-replayed, most in closed form, and the
+        # remainder (overdue-wakeup tail draws, ~5 % of slots) through
+        # the heap fallback — both kinds must occur in this run for
+        # the test to mean anything.
+        assert stats["array_slots"] == stats["slots"]
+        assert 0 < stats["vector_slots"] < stats["array_slots"]
+        assert event_sim.kernel_stats["vector_slots"] == 0
+
+    def test_mixed_load_vector_slots_subset_of_array_slots(self):
+        on, off, sim = _ab(dict(load_fraction=0.1, seed=7), slots=120)
+        assert on == off
+        stats = sim.kernel_stats
+        assert 0 < stats["vector_slots"] <= stats["array_slots"] \
+            < stats["slots"]
+
+    def test_window_barrier_splits_certified_run(self):
+        # A barrier splits the window fill without disabling the
+        # kernel: the certified run is planned across two shorter
+        # windows (one extra fill pass) and stays byte-identical.
+        base = build_simulation(_fig03_scenario())
+        reference = result_digest(base.run(240))
+        split = build_simulation(_fig03_scenario())
+        split.add_window_barrier(37)
+        assert result_digest(split.run(240)) == reference
+        stats = split.kernel_stats
+        assert stats["windows"] == base.kernel_stats["windows"] + 1
+        assert stats["array_slots"] == stats["slots"]
+        assert stats["vector_slots"] > 0
+
+
+def _alloc(ue_id: int, tbs_bytes: int, snr_db: float,
+           layers: int) -> UeAllocation:
+    return UeAllocation(ue_id=ue_id, tbs_bytes=tbs_bytes,
+                        mcs=mcs_for_snr(snr_db), layers=layers,
+                        snr_db=snr_db)
+
+
+def _load_catalog() -> list:
+    """One SlotLoad per structurally distinct DAG kind.
+
+    Covers idle and busy slots in both directions, multi-allocation
+    slots with multi-group LDPC splits, and a zero-codeblock
+    allocation (a HARQ artifact: scheduled UE, empty transport block),
+    whose decode/encode group count is zero.
+    """
+    multi = (
+        _alloc(0, 12000, 18.0, 2),  # 12 codeblocks -> 3 decode groups
+        _alloc(1, 800, 6.0, 1),     # 1 codeblock -> 1 group
+        _alloc(2, 0, 12.0, 1),      # 0 codeblocks -> 0 groups
+    )
+    single = (_alloc(3, 40000, 22.0, 4),)  # 38 codeblocks -> 10 groups
+    return [
+        SlotLoad("cat", 3, True, ()),
+        SlotLoad("cat", 3, False, ()),
+        SlotLoad("cat", 5, True, multi),
+        SlotLoad("cat", 5, False, multi),
+        SlotLoad("cat", 9, True, single),
+        SlotLoad("cat", 9, False, single),
+    ]
+
+
+class TestTopologyTemplatesAndPlanPipeline:
+    """The plan-direct fill must mirror the builder bit for bit.
+
+    The window fill certifies slots from ``plan_task_rows`` +
+    ``base_costs_batch`` + ``plan_stoch_window`` without constructing
+    task objects; a later fallback build of the same jobs must then
+    reproduce exactly the values the plan was computed from.  These
+    tests pin that equivalence per DAG kind, against freshly built
+    DAGs.
+    """
+
+    CELL_INDEX = 4
+
+    def _builder(self) -> DagBuilder:
+        return DagBuilder(
+            CostModel(rng=np.random.default_rng(0)),
+            rng=np.random.default_rng(1),
+            seed_seq=np.random.SeedSequence(entropy=123, spawn_key=(6,)))
+
+    @pytest.mark.parametrize("load", _load_catalog(),
+                             ids=lambda load: repr(dag_kind_key(load)))
+    def test_topology_template_matches_fresh_dag(self, load):
+        builder = self._builder()
+        cell = cell_20mhz_fdd("cat")
+        dag = builder.build(load, cell, 0.0, 2000.0,
+                            cell_index=self.CELL_INDEX)
+        assert dag.kind_key == dag_kind_key(load)
+        template = topology_for_kind(dag)
+        fresh = builder.build(load, cell, 0.0, 2000.0,
+                              cell_index=self.CELL_INDEX)
+        derived = topology_from_dag(fresh)
+        assert derived == template
+        # The level-synchronous schedule and the edge matrix describe
+        # the same wiring.
+        matrix = template.dependency_matrix()
+        assert int(matrix.sum()) == sum(
+            len(s) for s in template.successors)
+        seen: set = set()
+        for level in template.levels:
+            for i in level:
+                preds = np.nonzero(matrix[:, i])[0]
+                assert all(p in seen for p in preds), (
+                    "level schedule ordered a task before a predecessor")
+            seen.update(level)
+        assert len(seen) == template.num_tasks == len(fresh.tasks)
+
+    @pytest.mark.parametrize("load", _load_catalog(),
+                             ids=lambda load: repr(dag_kind_key(load)))
+    def test_plan_rows_reproduce_built_task_values(self, load):
+        builder = self._builder()
+        cell = cell_20mhz_fdd("cat")
+        dag = builder.build(load, cell, 0.0, 2000.0,
+                            cell_index=self.CELL_INDEX)
+        rows = plan_task_rows(load, cell)
+        assert [row[0] for row in rows] == \
+            [task.task_type for task in dag.tasks]
+        # Base costs: the same batch call the window fill issues, over
+        # the rows alone, must equal every built task's base_cost_us.
+        (types, cbs, tbytes, margins, rates, shares,
+         layers_col) = zip(*rows)
+        n = len(rows)
+        prbs = prbs_for_bandwidth(cell.bandwidth_mhz, cell.numerology)
+        costs = builder.cost_model.base_costs_batch(
+            np.array([t.type_code for t in types]),
+            prbs=np.full(n, float(prbs)),
+            antennas=np.full(n, float(cell.num_antennas)),
+            slot_bytes=np.full(n, float(load.total_bytes)),
+            task_codeblocks=np.array(cbs, dtype=np.float64),
+            task_bytes=np.array(tbytes, dtype=np.float64),
+            snr_margin_db=np.array(margins, dtype=np.float64),
+            code_rate=np.array(rates, dtype=np.float64),
+            prb_share=np.array(shares, dtype=np.float64),
+            layers=np.array(layers_col, dtype=np.float64),
+        ).tolist()
+        assert costs == [task.base_cost_us for task in dag.tasks]
+        # Stochastic multipliers: replaying the DAG's counter-keyed
+        # stream through the plan path yields the built values.
+        decode_indices = [i for i, row in enumerate(rows)
+                          if row[0] is TaskType.LDPC_DECODE]
+        mults = builder.plan_stoch_mults(
+            n, decode_indices, self.CELL_INDEX, load.slot_index,
+            load.uplink)
+        assert mults == [task.stoch_mult for task in dag.tasks]
+
+    def test_window_batched_stoch_equals_per_dag_calls(self):
+        builder = self._builder()
+        cell = cell_20mhz_fdd("cat")
+        reqs = []
+        expected = []
+        for load in _load_catalog():
+            rows = plan_task_rows(load, cell)
+            decode_indices = [i for i, row in enumerate(rows)
+                              if row[0] is TaskType.LDPC_DECODE]
+            req = (len(rows), decode_indices, self.CELL_INDEX,
+                   load.slot_index, load.uplink)
+            reqs.append(req)
+            expected.extend(builder.plan_stoch_mults(*req))
+        assert builder.plan_stoch_window(reqs) == expected
+
+
+class TestBatchLatencyIngest:
+    """Batched slot-latency ingest is the scalar path, verbatim.
+
+    The vector kernel flushes each slot's completions through
+    ``Metrics.record_slot_batch``; the fix from the fleet-percentile
+    work (overflow interpolation past the histogram range) must keep
+    holding when the values arrive batched rather than one call per
+    slot.
+    """
+
+    def test_batch_ingest_matches_scalar_ingest(self):
+        values = [100.0, 250.5, 1999.9, 2300.0, 9000.0, 0.0, 7750.25]
+        deadlines = [2000.0] * len(values)
+        scalar = Metrics(4)
+        for value, deadline in zip(values, deadlines):
+            scalar.on_slot_complete(value, deadline)
+        batched = Metrics(4)
+        batched.record_slot_batch(tuple(values), tuple(deadlines))
+        assert batched.slot_latencies == scalar.slot_latencies
+        assert batched.slot_count == scalar.slot_count
+        assert batched.slot_deadlines_missed == \
+            scalar.slot_deadlines_missed
+        assert latency_histogram(batched.slot_latencies, 2000.0) == \
+            latency_histogram(scalar.slot_latencies, 2000.0)
+
+    def test_overflow_interpolation_holds_for_batched_inserts(self):
+        deadline = 2000.0
+        range_top = 4.0 * deadline
+        in_range = [100.0] * 994
+        overflow = [9000.0, 9500.0, 10000.0, 11000.0, 12000.0, 20000.0]
+        metrics = Metrics(4)
+        metrics.record_slot_batch(in_range + overflow,
+                                  [deadline] * 1000)
+        hist = latency_histogram(metrics.slot_latencies, deadline)
+        assert hist["overflow"] == len(overflow)
+        assert hist["max_us"] == 20000.0
+        p999 = histogram_percentile(hist, 0.999)
+        p9999 = histogram_percentile(hist, 0.9999)
+        # Tail percentiles interpolate *through* the overflow region —
+        # strictly between the range top and the recorded maximum, and
+        # monotone in the quantile — instead of collapsing onto max_us.
+        assert range_top < p999 < p9999 <= 20000.0
+        needed = 0.999 * hist["count"]
+        inside = min(float(hist["overflow"]),
+                     needed - (hist["count"] - hist["overflow"]))
+        assert p999 == range_top + (20000.0 - range_top) * (
+            inside / hist["overflow"])
 
 
 class TestFleetByteIdentity:
